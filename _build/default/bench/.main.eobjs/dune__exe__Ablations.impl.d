@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Dsf_baseline Dsf_congest Dsf_core Dsf_graph Dsf_lower_bound Dsf_util Format Fun Hashtbl List

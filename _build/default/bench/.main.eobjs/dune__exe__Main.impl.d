@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Format Micro Sys Tables

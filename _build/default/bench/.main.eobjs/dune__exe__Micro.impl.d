@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Dsf_baseline Dsf_congest Dsf_core Dsf_embed Dsf_graph Dsf_util Format Hashtbl Instance Lazy List Measure Option Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Dsf_baseline Dsf_congest Dsf_core Dsf_embed Dsf_graph Dsf_lower_bound Dsf_util Format List

@@ -1,0 +1,15 @@
+(* Benchmark / experiment harness.
+
+   dune exec bench/main.exe                -- run everything
+   dune exec bench/main.exe -- tables      -- per-theorem experiments (E1-E11, F1)
+   dune exec bench/main.exe -- ablations   -- design-choice ablations (A1-A4, E12)
+   dune exec bench/main.exe -- micro       -- bechamel microbenchmarks *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Format.printf
+    "Distributed Steiner Forest — experiment harness (Lenzen & Patt-Shamir, PODC 2014)@.";
+  if what = "all" || what = "tables" then Tables.run_all ();
+  if what = "all" || what = "ablations" then Ablations.run_all ();
+  if what = "all" || what = "micro" then Micro.run ();
+  Format.printf "@.done.@."

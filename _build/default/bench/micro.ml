@@ -1,0 +1,123 @@
+(* Bechamel wall-clock microbenchmarks: one Test.make per core algorithm
+   and substrate, all on a shared medium instance.  These measure the
+   *simulator's* execution time (the paper's own metric is rounds, covered
+   by the experiment tables in Tables). *)
+
+open Bechamel
+open Toolkit
+
+module Gen = Dsf_graph.Gen
+module Inst = Dsf_graph.Instance
+
+let shared_instance =
+  lazy
+    (let r = Dsf_util.Rng.create 42 in
+     let g = Gen.random_connected r ~n:40 ~extra_edges:30 ~max_w:10 in
+     let labels = Gen.random_labels r ~n:40 ~t:10 ~k:3 in
+     Inst.make_ic g labels)
+
+let small_instance =
+  lazy
+    (let r = Dsf_util.Rng.create 43 in
+     let g = Gen.random_connected r ~n:16 ~extra_edges:12 ~max_w:8 in
+     let labels = Gen.random_labels r ~n:16 ~t:6 ~k:2 in
+     Inst.make_ic g labels)
+
+let tests =
+  [
+    Test.make ~name:"moat (Alg 1, n=40)"
+      (Staged.stage (fun () ->
+           ignore (Dsf_core.Moat.run (Lazy.force shared_instance))));
+    Test.make ~name:"moat_rounded (Alg 2, eps=1/2, n=40)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsf_core.Moat_rounded.run ~eps_num:1 ~eps_den:2
+                (Lazy.force shared_instance))));
+    Test.make ~name:"det_dsf (Thm 4.17, n=40)"
+      (Staged.stage (fun () ->
+           ignore (Dsf_core.Det_dsf.run (Lazy.force shared_instance))));
+    Test.make ~name:"det_sublinear (Cor 4.21, n=40)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsf_core.Det_sublinear.run ~eps_num:1 ~eps_den:2
+                (Lazy.force shared_instance))));
+    Test.make ~name:"rand_dsf (Thm 5.2, n=40, 1 rep)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsf_core.Rand_dsf.run ~repetitions:1
+                ~rng:(Dsf_util.Rng.create 7)
+                (Lazy.force shared_instance))));
+    Test.make ~name:"khan baseline (n=40, 1 rep)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsf_baseline.Khan_etal.run ~repetitions:1
+                ~rng:(Dsf_util.Rng.create 8)
+                (Lazy.force shared_instance))));
+    Test.make ~name:"LE lists (n=40)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsf_embed.Le_list.build (Dsf_util.Rng.create 9)
+                (Lazy.force shared_instance).Inst.graph)));
+    Test.make ~name:"exact DP (n=16, t=6)"
+      (Staged.stage (fun () ->
+           ignore (Dsf_graph.Exact.steiner_forest_weight (Lazy.force small_instance))));
+    Test.make ~name:"distributed MST (n=40)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsf_baseline.Mst_distributed.run
+                (Lazy.force shared_instance).Inst.graph)));
+  ]
+
+(* Size-indexed series: how the simulator's wall-clock cost scales with the
+   network size (args = n). *)
+let indexed_instance =
+  let cache = Hashtbl.create 4 in
+  fun n ->
+    match Hashtbl.find_opt cache n with
+    | Some inst -> inst
+    | None ->
+        let r = Dsf_util.Rng.create (1000 + n) in
+        let g = Gen.random_connected r ~n ~extra_edges:n ~max_w:10 in
+        let labels = Gen.random_labels r ~n ~t:8 ~k:2 in
+        let inst = Inst.make_ic g labels in
+        Hashtbl.replace cache n inst;
+        inst
+
+let indexed_tests =
+  [
+    Test.make_indexed ~name:"det_dsf @ n" ~args:[ 20; 40; 80 ] (fun n ->
+        Staged.stage (fun () -> ignore (Dsf_core.Det_dsf.run (indexed_instance n))));
+    Test.make_indexed ~name:"bellman_ford @ n" ~args:[ 20; 40; 80 ] (fun n ->
+        Staged.stage (fun () ->
+            ignore
+              (Dsf_congest.Bellman_ford.sssp (indexed_instance n).Inst.graph
+                 ~src:0)));
+    Test.make_indexed ~name:"pipeline MST @ n" ~args:[ 20; 40; 80 ] (fun n ->
+        Staged.stage (fun () ->
+            ignore (Dsf_baseline.Mst_distributed.run (indexed_instance n).Inst.graph)));
+  ]
+
+let run () =
+  Format.printf "@.=== Bechamel wall-clock microbenchmarks ===@.";
+  Format.printf "%-38s %14s %10s@." "benchmark" "ns/run" "r^2";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let ols =
+            Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+              ~responder:(Measure.label Instance.monotonic_clock)
+              ~predictors:[| Measure.run |]
+              raw.Benchmark.lr
+          in
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+          Format.printf "%-38s %14.0f %10.3f@." (Test.Elt.name elt) ns r2)
+        (Test.elements test))
+    (tests @ indexed_tests)

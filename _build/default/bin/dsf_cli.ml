@@ -1,0 +1,268 @@
+(* Command-line front end: generate an instance, solve it with any of the
+   implemented algorithms, and print the solution plus the round ledger.
+
+   Examples:
+     dune exec bin/dsf_cli.exe -- solve --algo det --topology random \
+       --nodes 50 --terminals 12 --components 4 --seed 7
+     dune exec bin/dsf_cli.exe -- params --topology grid --nodes 49
+     dune exec bin/dsf_cli.exe -- gadget --kind ic --universe 12 *)
+
+module Graph = Dsf_graph.Graph
+module Gen = Dsf_graph.Gen
+module Instance = Dsf_graph.Instance
+module Ledger = Dsf_congest.Ledger
+
+let make_graph topology rng n max_w =
+  match topology with
+  | "random" -> Gen.random_connected rng ~n ~extra_edges:n ~max_w
+  | "geometric" -> Gen.random_geometric rng ~n ~radius:0.2 ~max_w
+  | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Gen.reweight rng ~max_w (Gen.grid ~rows:side ~cols:side)
+  | "cycle" -> Gen.reweight rng ~max_w (Gen.cycle (max 3 n))
+  | "path" -> Gen.reweight rng ~max_w (Gen.path (max 2 n))
+  | "lollipop" -> Gen.reweight rng ~max_w (Gen.lollipop ~clique:(n / 3) ~tail:(n - (n / 3)))
+  | "clustered" ->
+      let cluster_size = max 4 (n / 4) in
+      Gen.clustered rng ~clusters:4 ~cluster_size ~intra_extra:(cluster_size / 2)
+        ~bridges:2 ~intra_w:(max 2 (max_w / 8)) ~bridge_w:max_w
+  | other -> invalid_arg ("unknown topology: " ^ other)
+
+let load_or_generate file topology rng n t k max_w =
+  match file with
+  | Some path -> begin
+      match Dsf_graph.Io.parse_file path with
+      | Dsf_graph.Io.Ic inst -> inst
+      | Dsf_graph.Io.Cr cr ->
+          (Dsf_core.Transform.cr_to_ic cr).Dsf_core.Transform.value
+      | Dsf_graph.Io.Plain _ ->
+          invalid_arg "input file has no label/request lines"
+    end
+  | None ->
+      let g = make_graph topology rng n max_w in
+      let labels = Gen.spread_labels rng g ~t ~k in
+      Instance.make_ic g labels
+
+let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out =
+  let rng = Dsf_util.Rng.create seed in
+  let inst = load_or_generate file topology rng n t k max_w in
+  let g = inst.Instance.graph in
+  let d, wd, s = Dsf_graph.Paths.parameters g in
+  Format.printf "instance: n=%d m=%d D=%d WD=%d s=%d t=%d k=%d@." (Graph.n g)
+    (Graph.m g) d wd s
+    (Instance.terminal_count inst)
+    (Instance.component_count inst);
+  let weight, solution, ledger =
+    match algo with
+    | "det" ->
+        let r = Dsf_core.Det_dsf.run inst in
+        r.Dsf_core.Det_dsf.weight, r.Dsf_core.Det_dsf.solution, Some r.Dsf_core.Det_dsf.ledger
+    | "sublinear" ->
+        let r = Dsf_core.Det_sublinear.run ~eps_num:1 ~eps_den inst in
+        ( r.Dsf_core.Det_sublinear.weight,
+          r.Dsf_core.Det_sublinear.solution,
+          Some r.Dsf_core.Det_sublinear.ledger )
+    | "rand" ->
+        let r = Dsf_core.Rand_dsf.run ~rng:(Dsf_util.Rng.split rng 1) inst in
+        r.Dsf_core.Rand_dsf.weight, r.Dsf_core.Rand_dsf.solution, Some r.Dsf_core.Rand_dsf.ledger
+    | "khan" ->
+        let r = Dsf_baseline.Khan_etal.run ~rng:(Dsf_util.Rng.split rng 1) inst in
+        ( r.Dsf_baseline.Khan_etal.weight,
+          r.Dsf_baseline.Khan_etal.solution,
+          Some r.Dsf_baseline.Khan_etal.ledger )
+    | "moat" ->
+        let r = Dsf_core.Moat.run inst in
+        r.Dsf_core.Moat.weight, r.Dsf_core.Moat.solution, None
+    | other -> invalid_arg ("unknown algorithm: " ^ other)
+  in
+  Format.printf "solution weight: %d (feasible: %b)@." weight
+    (Instance.is_feasible inst solution);
+  (* Independent re-check of the result (and of the dual certificate when
+     the algorithm provides one). *)
+  let dual =
+    match algo with
+    | "det" -> Some (Dsf_core.Frac.to_float (Dsf_core.Det_dsf.run inst).Dsf_core.Det_dsf.dual)
+    | _ -> None
+  in
+  (match Dsf_core.Certify.check ?dual inst ~solution with
+  | Ok report -> Format.printf "certified: %a@." Dsf_core.Certify.pp report
+  | Error msg -> Format.printf "CERTIFICATION FAILED: %s@." msg);
+  (match ledger with
+  | Some l ->
+      Format.printf "rounds: %d (simulated %d, charged %d)@." (Ledger.total l)
+        (Ledger.simulated l) (Ledger.charged l);
+      if verbose then Format.printf "%a@." Ledger.pp l
+  | None -> Format.printf "(centralized reference: no round accounting)@.");
+  if verbose then begin
+    Format.printf "edges:@.";
+    List.iter
+      (fun (e : Graph.edge) -> Format.printf "  %d-%d (w=%d)@." e.u e.v e.w)
+      (Graph.edge_list_of_set g solution)
+  end;
+  match dot_out with
+  | Some path ->
+      Dsf_graph.Dot.to_file path
+        (fun ppf () -> Dsf_graph.Dot.instance ~solution ppf inst)
+        ();
+      Format.printf "wrote %s@." path
+  | None -> ()
+
+let compare_cmd topology n t k max_w seed file =
+  let rng = Dsf_util.Rng.create seed in
+  let inst = load_or_generate file topology rng n t k max_w in
+  let g = inst.Instance.graph in
+  Format.printf "instance: n=%d m=%d t=%d k=%d@." (Graph.n g) (Graph.m g)
+    (Instance.terminal_count inst)
+    (Instance.component_count inst);
+  Format.printf "%-34s %8s %10s %10s %10s@." "algorithm" "weight" "sim" "charged"
+    "feasible";
+  List.iter
+    (fun (r : Dsf_core.Solver.report) ->
+      Format.printf "%-34s %8d %10d %10d %10b@." r.Dsf_core.Solver.algorithm
+        r.Dsf_core.Solver.weight r.Dsf_core.Solver.rounds_simulated
+        r.Dsf_core.Solver.rounds_charged r.Dsf_core.Solver.feasible)
+    (Dsf_core.Solver.compare_all inst)
+
+let verify_cmd inst_file sol_file dual =
+  match Dsf_graph.Io.parse_file inst_file with
+  | Dsf_graph.Io.Plain _ -> prerr_endline "instance file has no labels/requests"; exit 2
+  | Dsf_graph.Io.Cr _ -> prerr_endline "verify expects a DSF-IC (label) file"; exit 2
+  | Dsf_graph.Io.Ic inst -> begin
+      let g = inst.Instance.graph in
+      let text =
+        let ic = open_in sol_file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Dsf_graph.Io.parse_solution g text with
+      | Error e -> Format.printf "solution file error: %s@." e; exit 2
+      | Ok solution -> begin
+          match Dsf_core.Certify.check ?dual inst ~solution with
+          | Ok report ->
+              Format.printf "%a@." Dsf_core.Certify.pp report;
+              if not report.Dsf_core.Certify.feasible then exit 1
+          | Error msg ->
+              Format.printf "REJECTED: %s@." msg;
+              exit 1
+        end
+    end
+
+let params_cmd topology n max_w seed =
+  let rng = Dsf_util.Rng.create seed in
+  let g = make_graph topology rng n max_w in
+  let d, wd, s = Dsf_graph.Paths.parameters g in
+  Format.printf
+    "n=%d m=%d max_degree=%d D=%d WD=%d s=%d total_weight=%d@." (Graph.n g)
+    (Graph.m g) (Graph.max_degree g) d wd s (Graph.total_weight g)
+
+let gadget_cmd kind universe seed intersect =
+  let rng = Dsf_util.Rng.create seed in
+  let a, b =
+    Dsf_lower_bound.Gadgets.random_sets rng ~universe ~density:0.5
+      ~force_intersect:intersect
+  in
+  match kind with
+  | "ic" ->
+      let gad = Dsf_lower_bound.Gadgets.ic_gadget ~universe ~a ~b in
+      let (res, bits) =
+        Dsf_lower_bound.Gadgets.cut_bits gad.Dsf_lower_bound.Gadgets.ic_side
+          (fun () ->
+            let out = Dsf_core.Transform.minimalize gad.Dsf_lower_bound.Gadgets.ic in
+            Dsf_core.Det_dsf.run out.Dsf_core.Transform.value)
+      in
+      Format.printf
+        "IC gadget (Fig 1 right): universe=%d disjoint=%b bridge_used=%b cut_bits=%d@."
+        universe
+        (Dsf_lower_bound.Gadgets.disjoint a b)
+        res.Dsf_core.Det_dsf.solution.(gad.Dsf_lower_bound.Gadgets.bridge_edge)
+        bits
+  | "cr" ->
+      let gad = Dsf_lower_bound.Gadgets.cr_gadget ~universe ~rho:2 ~a ~b in
+      let (res, bits) =
+        Dsf_lower_bound.Gadgets.cut_bits gad.Dsf_lower_bound.Gadgets.cr_side
+          (fun () ->
+            let out = Dsf_core.Transform.cr_to_ic gad.Dsf_lower_bound.Gadgets.cr in
+            Dsf_core.Det_dsf.run out.Dsf_core.Transform.value)
+      in
+      let heavy =
+        List.exists
+          (fun id -> res.Dsf_core.Det_dsf.solution.(id))
+          gad.Dsf_lower_bound.Gadgets.heavy_edges
+      in
+      Format.printf
+        "CR gadget (Fig 1 left): universe=%d disjoint=%b heavy_used=%b cut_bits=%d@."
+        universe
+        (Dsf_lower_bound.Gadgets.disjoint a b)
+        heavy bits
+  | other -> invalid_arg ("unknown gadget kind: " ^ other)
+
+open Cmdliner
+
+let topology_arg =
+  Arg.(value & opt string "random" & info [ "topology" ] ~doc:"random | geometric | grid | cycle | path | lollipop | clustered")
+
+let nodes_arg = Arg.(value & opt int 50 & info [ "nodes"; "n" ] ~doc:"node count")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed")
+let maxw_arg = Arg.(value & opt int 16 & info [ "max-weight" ] ~doc:"max edge weight")
+
+let t_arg = Arg.(value & opt int 10 & info [ "terminals"; "t" ] ~doc:"terminal count")
+let k_arg = Arg.(value & opt int 3 & info [ "components"; "k" ] ~doc:"component count")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~doc:"read the instance from a file (Io format) instead of generating")
+
+let solve_term =
+  let algo = Arg.(value & opt string "det" & info [ "algo" ] ~doc:"det | sublinear | rand | khan | moat") in
+  let eps_den = Arg.(value & opt int 2 & info [ "eps-den" ] ~doc:"eps = 1/eps-den for sublinear") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print ledger and edges") in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~doc:"write the instance + solution as Graphviz DOT to this file")
+  in
+  Term.(
+    const solve_cmd $ algo $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
+    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out)
+
+let compare_term =
+  Term.(
+    const compare_cmd $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
+    $ seed_arg $ file_arg)
+
+let params_term = Term.(const params_cmd $ topology_arg $ nodes_arg $ maxw_arg $ seed_arg)
+
+let verify_term =
+  let inst_file =
+    Arg.(required & opt (some string) None & info [ "file" ] ~doc:"instance file (Io format)")
+  in
+  let sol_file =
+    Arg.(required & opt (some string) None & info [ "solution" ] ~doc:"solution file (one 'u v' per line)")
+  in
+  let dual =
+    Arg.(value & opt (some float) None & info [ "dual" ] ~doc:"claimed dual lower bound to check")
+  in
+  Term.(const verify_cmd $ inst_file $ sol_file $ dual)
+
+let gadget_term =
+  let kind = Arg.(value & opt string "ic" & info [ "kind" ] ~doc:"ic | cr") in
+  let universe = Arg.(value & opt int 12 & info [ "universe" ] ~doc:"SD universe size") in
+  let intersect = Arg.(value & flag & info [ "intersect" ] ~doc:"plant one common element") in
+  Term.(const gadget_cmd $ kind $ universe $ seed_arg $ intersect)
+
+let () =
+  let solve = Cmd.v (Cmd.info "solve" ~doc:"solve a generated or loaded DSF instance") solve_term in
+  let compare = Cmd.v (Cmd.info "compare" ~doc:"run all algorithms on one instance") compare_term in
+  let params = Cmd.v (Cmd.info "params" ~doc:"print graph parameters D, WD, s") params_term in
+  let gadget = Cmd.v (Cmd.info "gadget" ~doc:"run a Figure-1 lower-bound gadget") gadget_term in
+  let verify = Cmd.v (Cmd.info "verify" ~doc:"re-check a solution file against an instance") verify_term in
+  let main =
+    Cmd.group
+      (Cmd.info "dsf_cli" ~doc:"Distributed Steiner Forest (Lenzen & Patt-Shamir, PODC 2014)")
+      [ solve; compare; params; gadget; verify ]
+  in
+  exit (Cmd.eval main)

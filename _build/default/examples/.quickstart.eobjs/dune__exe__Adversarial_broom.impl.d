@@ -1,0 +1,1 @@
+examples/adversarial_broom.ml: Dsf_congest Dsf_core Dsf_graph Dsf_util Format List

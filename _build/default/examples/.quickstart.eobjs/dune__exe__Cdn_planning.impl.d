@@ -1,0 +1,1 @@
+examples/cdn_planning.ml: Array Dsf_congest Dsf_core Dsf_graph Dsf_util Filename Format List Printf Sys

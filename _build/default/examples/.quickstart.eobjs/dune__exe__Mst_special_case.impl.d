@@ -1,0 +1,1 @@
+examples/mst_special_case.ml: Array Dsf_baseline Dsf_congest Dsf_core Dsf_graph Dsf_util Format List

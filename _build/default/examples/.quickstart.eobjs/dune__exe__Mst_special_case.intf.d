@@ -1,0 +1,1 @@
+examples/mst_special_case.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsf_congest Dsf_core Dsf_graph Dsf_util Format List Printf String

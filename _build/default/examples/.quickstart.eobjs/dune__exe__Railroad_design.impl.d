@@ -1,0 +1,1 @@
+examples/railroad_design.ml: Array Dsf_core Dsf_graph Dsf_util Format List String Sys

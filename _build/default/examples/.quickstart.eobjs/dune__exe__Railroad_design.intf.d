@@ -1,0 +1,1 @@
+examples/railroad_design.mli:

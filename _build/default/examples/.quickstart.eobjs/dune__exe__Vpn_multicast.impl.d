@@ -1,0 +1,1 @@
+examples/vpn_multicast.ml: Array Dsf_baseline Dsf_congest Dsf_core Dsf_graph Dsf_util Format List Printf String Sys

@@ -1,0 +1,68 @@
+(* Quickstart: build a small weighted network, declare two input components,
+   and solve the Steiner Forest problem with the paper's three algorithms.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Graph = Dsf_graph.Graph
+module Instance = Dsf_graph.Instance
+module Exact = Dsf_graph.Exact
+
+let () =
+  (* A 10-node network: two clusters joined by a middle path. *)
+  let g =
+    Graph.make ~n:10
+      [
+        (* left cluster *)
+        0, 1, 2; 1, 2, 2; 0, 2, 3;
+        (* middle path *)
+        2, 3, 4; 3, 4, 1; 4, 5, 1;
+        (* right cluster *)
+        5, 6, 2; 6, 7, 2; 5, 7, 3;
+        (* spurs *)
+        3, 8, 2; 4, 9, 2;
+      ]
+  in
+  (* Component 0 must connect nodes {0, 7}; component 1 connects {8, 9}. *)
+  let labels = [| 0; -1; -1; -1; -1; -1; -1; 0; 1; 1 |] in
+  let inst = Instance.make_ic g labels in
+  Format.printf "Instance: n=%d m=%d t=%d k=%d@." (Graph.n g) (Graph.m g)
+    (Instance.terminal_count inst)
+    (Instance.component_count inst);
+  let opt = Exact.steiner_forest_weight inst in
+  Format.printf "Exact optimum (Dreyfus-Wagner + partitions): %d@.@." opt;
+
+  let show name weight rounds solution =
+    Format.printf "%-34s weight=%-3d rounds=%-5d edges={%s}@." name weight
+      rounds
+      (String.concat ", "
+         (Graph.edge_list_of_set g solution
+         |> List.map (fun (e : Graph.edge) -> Printf.sprintf "%d-%d" e.u e.v)))
+  in
+
+  (* Deterministic 2-approximation (Section 4.1). *)
+  let det = Dsf_core.Det_dsf.run inst in
+  show "Det_dsf (2-approx, Thm 4.17)" det.Dsf_core.Det_dsf.weight
+    (Dsf_congest.Ledger.total det.Dsf_core.Det_dsf.ledger)
+    det.Dsf_core.Det_dsf.solution;
+
+  (* Sublinear-in-t deterministic (2+eps)-approximation (Section 4.2). *)
+  let sub = Dsf_core.Det_sublinear.run ~eps_num:1 ~eps_den:2 inst in
+  show "Det_sublinear (2.5-approx, Cor 4.21)" sub.Dsf_core.Det_sublinear.weight
+    (Dsf_congest.Ledger.total sub.Dsf_core.Det_sublinear.ledger)
+    sub.Dsf_core.Det_sublinear.solution;
+
+  (* Randomized O(log n)-approximation (Section 5). *)
+  let rnd =
+    Dsf_core.Rand_dsf.run ~rng:(Dsf_util.Rng.create 42) inst
+  in
+  show "Rand_dsf (O(log n)-approx, Thm 5.2)" rnd.Dsf_core.Rand_dsf.weight
+    (Dsf_congest.Ledger.total rnd.Dsf_core.Rand_dsf.ledger)
+    rnd.Dsf_core.Rand_dsf.solution;
+
+  (* The dual certificate: the deterministic run proves its own quality. *)
+  Format.printf "@.Dual lower bound from Det_dsf: %s (so OPT >= %s; output %d < 2x that)@."
+    (Dsf_core.Frac.to_string det.Dsf_core.Det_dsf.dual)
+    (Dsf_core.Frac.to_string det.Dsf_core.Det_dsf.dual)
+    det.Dsf_core.Det_dsf.weight;
+  Format.printf "@.Round ledger of Det_dsf:@.%a@." Dsf_congest.Ledger.pp
+    det.Dsf_core.Det_dsf.ledger

@@ -1,0 +1,1 @@
+lib/baseline/khan_etal.ml: Array Dsf_congest Dsf_core Dsf_embed Dsf_graph Dsf_util Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/baseline/khan_etal.mli: Dsf_congest Dsf_graph Dsf_util

@@ -1,0 +1,1 @@
+lib/baseline/mst_distributed.mli: Dsf_graph

@@ -1,0 +1,1 @@
+lib/baseline/mst_gkp.ml: Array Dsf_congest Dsf_graph Dsf_util Hashtbl List Printf

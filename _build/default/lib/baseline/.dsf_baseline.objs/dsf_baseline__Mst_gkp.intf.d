@@ -1,0 +1,1 @@
+lib/baseline/mst_gkp.mli: Dsf_congest Dsf_graph

@@ -1,0 +1,1 @@
+lib/baseline/steiner_tree.ml: Array Dsf_graph Dsf_util List

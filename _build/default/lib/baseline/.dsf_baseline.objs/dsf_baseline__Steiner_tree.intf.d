@@ -1,0 +1,1 @@
+lib/baseline/steiner_tree.mli: Dsf_graph

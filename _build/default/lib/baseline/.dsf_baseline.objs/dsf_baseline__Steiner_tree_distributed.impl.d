@@ -1,0 +1,1 @@
+lib/baseline/steiner_tree_distributed.ml: Array Dsf_congest Dsf_core Dsf_graph Dsf_util List

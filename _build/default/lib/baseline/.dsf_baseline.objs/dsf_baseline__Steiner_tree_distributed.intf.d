@@ -1,0 +1,1 @@
+lib/baseline/steiner_tree_distributed.mli: Dsf_congest Dsf_graph

@@ -1,0 +1,24 @@
+(** The prior-art baseline of Khan, Kuhn, Malkhi, Pandurangan & Talwar
+    (reference [14] of the paper): tree embedding + per-component edge
+    selection, O(log n)-approximate in O~(s k) rounds.
+
+    The embedding is the same virtual tree as the paper's randomized
+    algorithm; the difference is the selection stage.  Where Section 5
+    time-multiplexes all components through the per-(label, target) filter
+    (O~(s + k) total), the baseline handles components one at a time, so
+    each of the k components pays its own O~(s) — the congestion behaviour
+    the paper's introduction attributes to [14].  The E8 experiment
+    contrasts the two round counts on the same instances. *)
+
+type result = {
+  solution : bool array;
+  weight : int;
+  ledger : Dsf_congest.Ledger.t;
+  components_routed : int;
+}
+
+val run :
+  ?repetitions:int ->
+  rng:Dsf_util.Rng.t ->
+  Dsf_graph.Instance.ic ->
+  result

@@ -1,0 +1,76 @@
+module Graph = Dsf_graph.Graph
+module Paths = Dsf_graph.Paths
+module Instance = Dsf_graph.Instance
+module Mst = Dsf_graph.Mst
+module Uf = Dsf_util.Union_find
+
+type result = {
+  solution : bool array;
+  weight : int;
+  charged_rounds : int;
+}
+
+let run g ~terminals =
+  let terms = List.sort_uniq compare terminals in
+  let m = Graph.m g in
+  match terms with
+  | [] | [ _ ] ->
+      { solution = Array.make m false; weight = 0; charged_rounds = 0 }
+  | _ ->
+      let terms_arr = Array.of_list terms in
+      let q = Array.length terms_arr in
+      let dijkstra_from =
+        Array.map (fun v -> Paths.dijkstra_hops g ~src:v) terms_arr
+      in
+      (* MST of the terminal metric closure (Kruskal over all pairs). *)
+      let pairs = ref [] in
+      for i = 0 to q - 1 do
+        let dist, _, _ = dijkstra_from.(i) in
+        for j = i + 1 to q - 1 do
+          if dist.(terms_arr.(j)) = max_int then
+            invalid_arg "Steiner_tree.run: terminals disconnected";
+          pairs := (dist.(terms_arr.(j)), i, j) :: !pairs
+        done
+      done;
+      let sorted = List.sort compare !pairs in
+      let uf = Uf.create q in
+      let closure_mst =
+        List.filter (fun (_, i, j) -> Uf.union uf i j) sorted
+      in
+      (* Expand each closure edge into a shortest path. *)
+      let selected = Array.make m false in
+      List.iter
+        (fun (_, i, j) ->
+          let _, parent, _ = dijkstra_from.(i) in
+          let rec climb v =
+            if parent.(v) >= 0 then begin
+              (match Graph.find_edge g v parent.(v) with
+              | Some eid -> selected.(eid) <- true
+              | None -> assert false);
+              climb parent.(v)
+            end
+          in
+          climb terms_arr.(j))
+        closure_mst;
+      (* MST of the expansion, then prune non-terminal leaves: reuse the
+         generic prune with all terminals sharing one label. *)
+      let sub_edges =
+        Array.to_list (Graph.edges g)
+        |> List.filter (fun (e : Graph.edge) -> selected.(e.id))
+        |> List.sort (fun (a : Graph.edge) b -> compare (a.w, a.id) (b.w, b.id))
+      in
+      let uf2 = Uf.create (Graph.n g) in
+      let forest = Array.make m false in
+      List.iter
+        (fun (e : Graph.edge) ->
+          if Uf.union uf2 e.u e.v then forest.(e.id) <- true)
+        sub_edges;
+      let labels = Array.make (Graph.n g) (-1) in
+      List.iter (fun v -> labels.(v) <- 0) terms;
+      let inst = Instance.make_ic g labels in
+      let solution = Instance.prune inst forest in
+      {
+        solution;
+        weight = Graph.edge_set_weight g solution;
+        charged_rounds = Graph.n g;
+      }

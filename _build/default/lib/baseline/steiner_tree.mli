@@ -1,0 +1,18 @@
+(** The classical Kou-Markowsky-Berman 2-approximation for Steiner Tree
+    (single input component) on the terminal metric closure — a centralized
+    quality baseline, corresponding to the Chalermsook-Fakcharoenphol
+    distributed 2-approximation ([4] in the paper, O~(n) rounds, which we
+    charge rather than simulate).
+
+    Pipeline: metric closure on terminals -> MST of the closure -> expand
+    closure edges into shortest paths -> MST of the expansion -> prune
+    non-terminal leaves. *)
+
+type result = {
+  solution : bool array;
+  weight : int;
+  charged_rounds : int;  (** the [4] contract: O(n) *)
+}
+
+val run : Dsf_graph.Graph.t -> terminals:int list -> result
+(** Raises [Invalid_argument] if the terminals are not connected. *)

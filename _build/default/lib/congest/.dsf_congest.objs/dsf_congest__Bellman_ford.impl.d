@@ -1,0 +1,1 @@
+lib/congest/bellman_ford.ml: Array Dsf_graph Dsf_util Hashtbl List Sim

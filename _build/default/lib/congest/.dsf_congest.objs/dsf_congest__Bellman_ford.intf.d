@@ -1,0 +1,1 @@
+lib/congest/bellman_ford.mli: Dsf_graph Sim

@@ -1,0 +1,1 @@
+lib/congest/bfs.ml: Array Dsf_graph Dsf_util List Sim

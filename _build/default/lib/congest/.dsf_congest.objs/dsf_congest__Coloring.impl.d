@@ -1,0 +1,1 @@
+lib/congest/coloring.ml: Array Dsf_graph Dsf_util List Sim

@@ -1,0 +1,1 @@
+lib/congest/coloring.mli: Dsf_graph Sim

@@ -1,0 +1,1 @@
+lib/congest/component_ops.ml: Array Dsf_graph Dsf_util List Sim

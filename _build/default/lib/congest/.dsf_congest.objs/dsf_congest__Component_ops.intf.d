@@ -1,0 +1,1 @@
+lib/congest/component_ops.mli: Dsf_graph Sim

@@ -1,0 +1,1 @@
+lib/congest/exchange.ml: Array Dsf_graph Fun List Sim

@@ -1,0 +1,1 @@
+lib/congest/exchange.mli: Dsf_graph Sim

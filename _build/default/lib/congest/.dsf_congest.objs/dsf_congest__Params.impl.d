@@ -1,0 +1,1 @@
+lib/congest/params.ml: Bellman_ford Bfs Dsf_graph Dsf_util Sim Tree_ops

@@ -1,0 +1,1 @@
+lib/congest/params.mli: Dsf_graph

@@ -1,0 +1,1 @@
+lib/congest/pipeline.ml: Array Bfs Dsf_util Hashtbl List Option Queue Sim

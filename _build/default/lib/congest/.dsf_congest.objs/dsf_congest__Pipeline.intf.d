@@ -1,0 +1,1 @@
+lib/congest/pipeline.mli: Bfs Dsf_graph Sim

@@ -1,0 +1,1 @@
+lib/congest/sim.ml: Array Dsf_graph Dsf_util Format Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/congest/sim.mli: Dsf_graph Format

@@ -1,0 +1,1 @@
+lib/congest/trace.ml: Format Hashtbl List Option Sim

@@ -1,0 +1,1 @@
+lib/congest/tree_ops.ml: Array Bfs Dsf_graph Dsf_util Hashtbl List Option Sim

@@ -1,0 +1,1 @@
+lib/congest/tree_ops.mli: Bfs Dsf_graph Sim

@@ -1,0 +1,108 @@
+module Graph = Dsf_graph.Graph
+module Bitsize = Dsf_util.Bitsize
+
+type result = {
+  dist : int array;
+  src_of : int array;
+  parent : int array;
+  hops : int array;
+  rounds : int;
+}
+
+type state = {
+  dist : int;
+  src : int;
+  parent : int;
+  hops : int;
+  dirty : bool;  (** must announce our label next round *)
+}
+
+type msg = Relax of { dist : int; src : int; hops : int }
+
+let inf = max_int / 4
+
+(* Lexicographic label order: smaller distance first, then smaller source id
+   (Definition 4.6 tie-breaking), then fewer hops. *)
+let better (d1, s1, h1) (d2, s2, h2) = (d1, s1, h1) < (d2, s2, h2)
+
+let run ?weight_of ?radius ?max_rounds g ~sources =
+  let n = Graph.n g in
+  let weight_of =
+    match weight_of with
+    | Some f -> f
+    | None -> fun eid -> (Graph.edge g eid).Graph.w
+  in
+  let cap = match radius with Some r -> r | None -> inf in
+  (* Per-node map neighbor -> effective incoming edge weight, to avoid a
+     linear scan per received message. *)
+  let nbr_weight =
+    Array.init n (fun v ->
+        let h = Hashtbl.create 8 in
+        Array.iter
+          (fun (nb, _, eid) -> Hashtbl.replace h nb (weight_of eid))
+          (Graph.adj g v);
+        h)
+  in
+  let init_dist = Hashtbl.create (List.length sources) in
+  List.iter
+    (fun (v, d0) ->
+      assert (d0 >= 0);
+      match Hashtbl.find_opt init_dist v with
+      | Some d when d <= d0 -> ()
+      | _ -> Hashtbl.replace init_dist v d0)
+    sources;
+  let proto : (state, msg) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          match Hashtbl.find_opt init_dist view.Sim.node with
+          | Some d0 when d0 <= cap ->
+              { dist = d0; src = view.Sim.node; parent = -1; hops = 0; dirty = true }
+          | _ -> { dist = inf; src = -1; parent = -1; hops = inf; dirty = false });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let st =
+            List.fold_left
+              (fun st (sender, Relax r) ->
+                let w = Hashtbl.find nbr_weight.(view.Sim.node) sender in
+                let nd = r.dist + w and nh = r.hops + 1 in
+                if nd <= cap && better (nd, r.src, nh) (st.dist, st.src, st.hops)
+                then
+                  { dist = nd; src = r.src; parent = sender; hops = nh; dirty = true }
+                else st)
+              st inbox
+          in
+          if st.dirty && st.src >= 0 then begin
+            let outbox =
+              Array.to_list view.Sim.nbrs
+              |> List.map (fun (nb, _, _) ->
+                     nb, Relax { dist = st.dist; src = st.src; hops = st.hops })
+            in
+            { st with dirty = false }, outbox
+          end
+          else { st with dirty = false }, []);
+      is_done = (fun st -> not st.dirty);
+      msg_bits =
+        (fun (Relax r) ->
+          Bitsize.int_bits (max 1 r.dist)
+          + Bitsize.id_bits ~n
+          + Bitsize.int_bits (max 1 r.hops));
+    }
+  in
+  let states, stats = Sim.run ?max_rounds g proto in
+  let dist = Array.make n max_int in
+  let src_of = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let hops = Array.make n max_int in
+  Array.iteri
+    (fun v (st : state) ->
+      if st.src >= 0 then begin
+        dist.(v) <- st.dist;
+        src_of.(v) <- st.src;
+        parent.(v) <- st.parent;
+        hops.(v) <- st.hops
+      end)
+    states;
+  { dist; src_of; parent; hops; rounds = stats.Sim.rounds }, stats
+
+let sssp g ~src = run g ~sources:[ src, 0 ]

@@ -1,0 +1,37 @@
+(** Distributed multi-source Bellman-Ford, the primitive behind the paper's
+    Voronoi decompositions (Definition 4.6, Lemma 4.8) and the virtual-tree
+    construction of Section 5.
+
+    Sources start with given initial distances (used for reduced weights /
+    head starts); every node converges to the closest source under the
+    lexicographic order (distance, source id) — exactly the tie-breaking of
+    Definition 4.6.  An optional per-edge weight override implements the
+    reduced weight functions Ŵ_j, and an optional radius cap implements the
+    bounded-radius exploration of the tree embedding (B(v, β·2^i)).
+
+    The number of simulated rounds is the number of Bellman-Ford iterations
+    until stabilization — the quantity the paper identifies with [s]. *)
+
+type result = {
+  dist : int array;  (** distance to the closest source; [max_int] if none *)
+  src_of : int array;  (** closest source; [-1] if unreached *)
+  parent : int array;
+      (** predecessor towards the source; [-1] at sources / unreached *)
+  hops : int array;  (** tree depth in hops; [max_int] if unreached *)
+  rounds : int;
+}
+
+val run :
+  ?weight_of:(int -> int) ->
+  ?radius:int ->
+  ?max_rounds:int ->
+  Dsf_graph.Graph.t ->
+  sources:(int * int) list ->
+  result * Sim.stats
+(** [run g ~sources] with [sources = [(node, initial_dist); ...]].
+    [weight_of eid] overrides the weight of edge [eid] (must be >= 0; zero
+    weights model edges inside contracted moats).  [radius r] discards any
+    path of distance > [r].  Ties are broken towards the smaller source id,
+    then the smaller parent id. *)
+
+val sssp : Dsf_graph.Graph.t -> src:int -> result * Sim.stats

@@ -1,0 +1,79 @@
+module Graph = Dsf_graph.Graph
+module Bitsize = Dsf_util.Bitsize
+
+type tree = {
+  root : int;
+  parent : int array;
+  depth : int array;
+  children : int list array;
+  height : int;
+}
+
+type state = { parent : int option; depth : int; announced : bool }
+
+type msg = Join of int  (** sender's depth *)
+
+let build g ~root =
+  let n = Graph.n g in
+  (* Precondition check: on a disconnected graph the flood never reaches
+     everyone and the simulation would spin to its round limit. *)
+  if not (Graph.is_connected g) then
+    invalid_arg "Bfs.build: disconnected graph";
+  let proto : (state, msg) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          if view.Sim.node = root then
+            { parent = Some (-1); depth = 0; announced = false }
+          else { parent = None; depth = max_int; announced = false });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          (* Join the tree via the smallest-id neighbor heard from first. *)
+          let st =
+            if st.parent = None then begin
+              let best =
+                List.fold_left
+                  (fun acc (sender, Join d) ->
+                    match acc with
+                    | Some (_, bs) when bs <= sender -> acc
+                    | _ -> Some (d, sender))
+                  None inbox
+              in
+              match best with
+              | Some (d, sender) ->
+                  { parent = Some sender; depth = d + 1; announced = false }
+              | None -> st
+            end
+            else st
+          in
+          match st.parent with
+          | Some _ when not st.announced ->
+              let outbox =
+                Array.to_list view.Sim.nbrs
+                |> List.map (fun (nb, _, _) -> nb, Join st.depth)
+              in
+              { st with announced = true }, outbox
+          | _ -> st, []);
+      is_done = (fun st -> st.parent <> None && st.announced);
+      msg_bits = (fun (Join d) -> Bitsize.int_bits (max d 1));
+    }
+  in
+  let states, stats = Sim.run g proto in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  Array.iteri
+    (fun v st ->
+      match st.parent with
+      | None -> invalid_arg "Bfs.build: disconnected graph"
+      | Some p ->
+          parent.(v) <- p;
+          depth.(v) <- st.depth)
+    states;
+  let children = Array.make n [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then children.(p) <- v :: children.(p))
+    parent;
+  let height = Array.fold_left max 0 depth in
+  { root; parent; depth; children; height }, stats
+
+let max_id_root g = Graph.n g - 1

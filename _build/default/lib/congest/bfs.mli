@@ -1,0 +1,18 @@
+(** Distributed BFS-tree construction (flood from the root), the basic
+    building block used by every algorithm in the paper for global
+    coordination.  Takes O(D) simulated rounds. *)
+
+type tree = {
+  root : int;
+  parent : int array;  (** parent node id; [-1] for the root *)
+  depth : int array;
+  children : int list array;
+  height : int;  (** max depth = eccentricity of the root *)
+}
+
+val build : Dsf_graph.Graph.t -> root:int -> tree * Sim.stats
+(** Raises [Invalid_argument] if the graph is disconnected. *)
+
+val max_id_root : Dsf_graph.Graph.t -> int
+(** The conventional root choice of the paper's appendix: the node with the
+    largest identifier. *)

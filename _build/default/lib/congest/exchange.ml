@@ -1,0 +1,19 @@
+module Graph = Dsf_graph.Graph
+
+let all_neighbors g ~payload_bits =
+  let proto : (bool, unit) Sim.protocol =
+    {
+      init = (fun _ -> false);
+      step =
+        (fun view ~round:_ sent ~inbox:_ ->
+          if sent then true, []
+          else
+            ( true,
+              Array.to_list view.Sim.nbrs
+              |> List.map (fun (nb, _, _) -> nb, ()) ));
+      is_done = Fun.id;
+      msg_bits = (fun () -> payload_bits);
+    }
+  in
+  let _, stats = Sim.run g proto in
+  stats

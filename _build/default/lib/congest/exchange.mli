@@ -1,0 +1,10 @@
+(** One-round full-neighborhood exchange: every node sends one fixed-size
+    message to each neighbor.  This is the "u sends v_u to each neighbor"
+    step the deterministic algorithms run once per merge phase (Step 3b of
+    the Appendix E.1 algorithm) to let boundary edges discover the two
+    regions they straddle. *)
+
+val all_neighbors :
+  Dsf_graph.Graph.t -> payload_bits:int -> Sim.stats
+(** Simulates the exchange; [payload_bits] is the per-message size (for a
+    region announcement: owner id + offset + activity bit). *)

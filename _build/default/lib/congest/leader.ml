@@ -1,0 +1,37 @@
+module Graph = Dsf_graph.Graph
+module Bitsize = Dsf_util.Bitsize
+
+type result = {
+  leader : int;
+  rounds : int;
+  messages : int;
+}
+
+type state = { best : int; dirty : bool }
+
+let elect g =
+  let n = Graph.n g in
+  let proto : (state, int) Sim.protocol =
+    {
+      init = (fun view -> { best = view.Sim.node; dirty = true });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let st =
+            List.fold_left
+              (fun st (_, cand) ->
+                if cand > st.best then { best = cand; dirty = true } else st)
+              st inbox
+          in
+          if st.dirty then
+            ( { st with dirty = false },
+              Array.to_list view.Sim.nbrs
+              |> List.map (fun (nb, _, _) -> nb, st.best) )
+          else st, []);
+      is_done = (fun st -> not st.dirty);
+      msg_bits = (fun _ -> Bitsize.id_bits ~n);
+    }
+  in
+  let states, stats = Sim.run g proto in
+  let leader = states.(0).best in
+  Array.iter (fun st -> assert (st.best = leader)) states;
+  { leader; rounds = stats.Sim.rounds; messages = stats.Sim.messages }

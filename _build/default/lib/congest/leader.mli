@@ -1,0 +1,15 @@
+(** Leader election by max-id flooding — the step the paper's appendix
+    implicitly performs whenever it roots a BFS tree "at the node with the
+    largest identifier": every node floods the largest id it has heard, and
+    after D rounds all agree.  O(D) simulated rounds, O(log n) bits per
+    message. *)
+
+type result = {
+  leader : int;
+  rounds : int;
+  messages : int;
+}
+
+val elect : Dsf_graph.Graph.t -> result
+(** Requires a connected graph; the elected leader is the maximum node id
+    (= {!Bfs.max_id_root}), and every node knows it on termination. *)

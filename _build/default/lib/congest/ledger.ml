@@ -1,0 +1,34 @@
+type kind = Simulated | Charged
+
+type t = { mutable entries : (kind * string * int) list (* reversed *) }
+
+let create () = { entries = [] }
+
+let add t kind label rounds =
+  assert (rounds >= 0);
+  t.entries <- (kind, label, rounds) :: t.entries
+
+let sum_kind t k =
+  List.fold_left
+    (fun acc (kind, _, r) -> if kind = k then acc + r else acc)
+    0 t.entries
+
+let simulated t = sum_kind t Simulated
+let charged t = sum_kind t Charged
+let total t = simulated t + charged t
+
+let entries t = List.rev t.entries
+
+let merge_into ~dst t =
+  List.iter (fun (k, l, r) -> add dst k l r) (entries t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>total=%d (simulated=%d charged=%d)@," (total t)
+    (simulated t) (charged t);
+  List.iter
+    (fun (k, l, r) ->
+      Format.fprintf ppf "  %-9s %-40s %d@,"
+        (match k with Simulated -> "simulated" | Charged -> "charged")
+        l r)
+    (entries t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,22 @@
+(** Round ledger: accumulates the round cost of a multi-phase algorithm.
+
+    Entries are either [Simulated] (actual rounds executed by {!Sim.run})
+    or [Charged] (a named analytical charge for a step the paper performs
+    via a cited black box or states as a broadcast bound; see DESIGN.md).
+    Experiments report both totals so the reader can see exactly how much
+    of a bound was measured versus charged. *)
+
+type kind = Simulated | Charged
+
+type t
+
+val create : unit -> t
+val add : t -> kind -> string -> int -> unit
+val simulated : t -> int
+val charged : t -> int
+val total : t -> int
+val entries : t -> (kind * string * int) list
+(** In insertion order. *)
+
+val merge_into : dst:t -> t -> unit
+val pp : Format.formatter -> t -> unit

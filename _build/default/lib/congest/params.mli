@@ -1,0 +1,25 @@
+(** Distributed estimation of the global graph parameters the algorithms
+    branch on — the machinery of the paper's footnote 2: "compute n by
+    convergecast, then run Bellman-Ford until stabilization or sqrt(n)
+    iterations have elapsed, whichever happens first".
+
+    All routines genuinely simulate; round counts come from the runs. *)
+
+val count_nodes : Dsf_graph.Graph.t -> int * int
+(** [n] by BFS-tree convergecast; returns (n, simulated rounds). *)
+
+val diameter_upper_bound : Dsf_graph.Graph.t -> int * int
+(** 2-approximation of D: twice the BFS eccentricity of the max-id root;
+    returns (bound, simulated rounds). *)
+
+val estimate_s : cap:int -> Dsf_graph.Graph.t -> [ `Stabilized of int | `Exceeded ] * int
+(** Run single-source Bellman-Ford from the max-id root until it
+    stabilizes or [cap] rounds elapse.  [`Stabilized r] reports the
+    stabilization round — a lower bound on (and in practice close to) the
+    shortest-path diameter [s]; [`Exceeded] means s > cap, which is all
+    the s-vs-sqrt(n) regime decision needs.  Second component: simulated
+    rounds spent (at most cap + O(D) for detection). *)
+
+val regime : Dsf_graph.Graph.t -> [ `Small_s of int | `Large_s ] * int
+(** The Section 5 regime test: [`Small_s s] iff s stabilized within
+    ceil(sqrt n) rounds.  Returns total simulated rounds (n-count + BF). *)

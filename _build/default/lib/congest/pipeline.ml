@@ -1,0 +1,154 @@
+module Uf = Dsf_util.Union_find
+
+type 'k item = { key : 'k; a : int; b : int }
+
+let item_cmp cmp i1 i2 =
+  let c = cmp i1.key i2.key in
+  if c <> 0 then c else compare (i1.a, i1.b) (i2.a, i2.b)
+
+let select_forest ~vn ~pre ~cmp items =
+  let uf = Uf.create vn in
+  List.iter (fun (x, y) -> ignore (Uf.union uf x y)) pre;
+  let sorted = List.sort (item_cmp cmp) items in
+  List.filter (fun it -> Uf.union uf it.a it.b) sorted
+
+type 'k msg = Item of 'k item | Done
+
+(* Each child delivers its items in ascending order and closes its stream
+   with [Done].  A node may emit the minimum across its own remaining items
+   and the child queue heads only once every unfinished child has a pending
+   item — then that minimum is a lower bound on everything still to come, so
+   the node's own output stream is ascending too (inductively).  Cycle-
+   closing items are discarded locally; discards are free local computation,
+   so several can happen in one round, but at most one item is sent. *)
+type 'k state = {
+  own : 'k item list;  (** ascending *)
+  queues : (int, 'k item Queue.t) Hashtbl.t;  (** per-child FIFO *)
+  open_children : (int, unit) Hashtbl.t;  (** children not yet Done *)
+  uf : Uf.t;
+  accepted : 'k item list;  (** root only; reversed *)
+  sent_done : bool;
+}
+
+let filtered_upcast ?stop_at_root g ~(tree : Bfs.tree) ~vn ~pre ~items ~cmp
+    ~bits =
+  let icmp = item_cmp cmp in
+  let proto : ('k state, 'k msg) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          let v = view.Sim.node in
+          let uf = Uf.create vn in
+          List.iter (fun (x, y) -> ignore (Uf.union uf x y)) pre;
+          let queues = Hashtbl.create 4 in
+          let open_children = Hashtbl.create 4 in
+          List.iter
+            (fun c ->
+              Hashtbl.replace queues c (Queue.create ());
+              Hashtbl.replace open_children c ())
+            tree.children.(v);
+          {
+            own = List.sort icmp (items v);
+            queues;
+            open_children;
+            uf;
+            accepted = [];
+            sent_done = false;
+          });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          List.iter
+            (fun (sender, m) ->
+              match m with
+              | Item it -> Queue.add it (Hashtbl.find st.queues sender)
+              | Done -> Hashtbl.remove st.open_children sender)
+            inbox;
+          (* Is every unfinished child's queue non-empty? *)
+          let stalled =
+            Hashtbl.fold
+              (fun c () acc ->
+                acc || Queue.is_empty (Hashtbl.find st.queues c))
+              st.open_children false
+          in
+          if stalled then st, []
+          else begin
+            (* Repeatedly extract the global minimum; discard cycle-closers
+               for free; send (or accept, at the root) the first survivor. *)
+            let rec extract st =
+              let best = ref None in
+              (match st.own with
+              | it :: _ -> best := Some (it, `Own)
+              | [] -> ());
+              Hashtbl.iter
+                (fun c q ->
+                  match Queue.peek_opt q with
+                  | Some it -> begin
+                      match !best with
+                      | Some (b, _) when icmp b it <= 0 -> ()
+                      | _ -> best := Some (it, `Child c)
+                    end
+                  | None -> ())
+                st.queues;
+              match !best with
+              | None -> st, None
+              | Some (it, origin) ->
+                  let st =
+                    match origin with
+                    | `Own -> { st with own = List.tl st.own }
+                    | `Child c ->
+                        ignore (Queue.pop (Hashtbl.find st.queues c));
+                        st
+                  in
+                  (* Extracting from a child queue may stall us again: only
+                     continue extracting while no open child queue is empty. *)
+                  if Uf.same st.uf it.a it.b then begin
+                    let stalled_now =
+                      Hashtbl.fold
+                        (fun c () acc ->
+                          acc || Queue.is_empty (Hashtbl.find st.queues c))
+                        st.open_children false
+                    in
+                    if stalled_now then st, None else extract st
+                  end
+                  else begin
+                    ignore (Uf.union st.uf it.a it.b);
+                    st, Some it
+                  end
+            in
+            let st, to_send = extract st in
+            match to_send with
+            | Some it ->
+                if v = tree.root then
+                  { st with accepted = it :: st.accepted }, []
+                else st, [ tree.parent.(v), Item it ]
+            | None ->
+                (* Nothing left: if fully drained and all children Done,
+                   close our own stream. *)
+                let drained =
+                  st.own = []
+                  && Hashtbl.length st.open_children = 0
+                  && Hashtbl.fold
+                       (fun _ q acc -> acc && Queue.is_empty q)
+                       st.queues true
+                in
+                if drained && (not st.sent_done) && v <> tree.root then
+                  { st with sent_done = true }, [ tree.parent.(v), Done ]
+                else st, []
+          end);
+      is_done =
+        (fun st ->
+          st.own = []
+          && Hashtbl.length st.open_children = 0
+          && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) st.queues true);
+      msg_bits =
+        (function Item it -> bits it | Done -> 1);
+    }
+  in
+  let halt =
+    Option.map
+      (fun pred states -> pred (List.rev states.(tree.root).accepted))
+      stop_at_root
+  in
+  let states, stats = Sim.run ?halt g proto in
+  List.rev states.(tree.root).accepted, stats

@@ -1,0 +1,115 @@
+module Graph = Dsf_graph.Graph
+
+type view = {
+  node : int;
+  n : int;
+  nbrs : (int * int * int) array;
+}
+
+type ('s, 'm) protocol = {
+  init : view -> 's;
+  step : view -> round:int -> 's -> inbox:(int * 'm) list -> 's * (int * 'm) list;
+  is_done : 's -> bool;
+  msg_bits : 'm -> int;
+}
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_edge_round_bits : int;
+  budget_violations : int;
+}
+
+exception Round_limit of int
+
+let observer : (src:int -> dst:int -> bits:int -> unit) option ref = ref None
+
+let set_observer f = observer := f
+
+let with_observer f body =
+  let prev = !observer in
+  let chained ~src ~dst ~bits =
+    (match prev with Some g -> g ~src ~dst ~bits | None -> ());
+    f ~src ~dst ~bits
+  in
+  observer := Some chained;
+  Fun.protect ~finally:(fun () -> observer := prev) body
+
+let run ?max_rounds ?halt g proto =
+  let n = Graph.n g in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 10_000 + (200 * n)
+  in
+  let views =
+    Array.init n (fun node -> { node; n; nbrs = Graph.adj g node })
+  in
+  let states = Array.map proto.init views in
+  let inboxes : (int * 'm) list array = Array.make n [] in
+  let next_inboxes : (int * 'm) list array = Array.make n [] in
+  let budget = Dsf_util.Bitsize.congest_budget ~n in
+  let messages = ref 0 in
+  let total_bits = ref 0 in
+  let max_edge_round_bits = ref 0 in
+  let budget_violations = ref 0 in
+  let round = ref 0 in
+  let quiescent = ref false in
+  while not !quiescent do
+    if !round >= max_rounds then raise (Round_limit !round);
+    (* bits sent this round per (sender, neighbor-slot); keyed by sender and
+       destination since each unordered edge has two directions. *)
+    let edge_bits = Hashtbl.create 64 in
+    let sent_any = ref false in
+    for v = 0 to n - 1 do
+      let inbox = List.rev inboxes.(v) in
+      inboxes.(v) <- [];
+      let state', outbox = proto.step views.(v) ~round:!round states.(v) ~inbox in
+      states.(v) <- state';
+      List.iter
+        (fun (dst, msg) ->
+          if dst < 0 || dst >= n then
+            invalid_arg "Sim.run: message to nonexistent node";
+          (if not (Array.exists (fun (nb, _, _) -> nb = dst) views.(v).nbrs)
+           then invalid_arg "Sim.run: message to non-neighbor");
+          sent_any := true;
+          incr messages;
+          let bits = proto.msg_bits msg in
+          total_bits := !total_bits + bits;
+          (match !observer with
+          | Some f -> f ~src:v ~dst ~bits
+          | None -> ());
+          let key = (v * n) + dst in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt edge_bits key) in
+          let now = prev + bits in
+          Hashtbl.replace edge_bits key now;
+          next_inboxes.(dst) <- (v, msg) :: next_inboxes.(dst))
+        outbox
+    done;
+    Hashtbl.iter
+      (fun _ bits ->
+        if bits > !max_edge_round_bits then max_edge_round_bits := bits;
+        if bits > budget then incr budget_violations)
+      edge_bits;
+    for v = 0 to n - 1 do
+      inboxes.(v) <- next_inboxes.(v);
+      next_inboxes.(v) <- []
+    done;
+    incr round;
+    let all_done = Array.for_all proto.is_done states in
+    let inflight = Array.exists (fun l -> l <> []) inboxes in
+    let halted = match halt with Some f -> f states | None -> false in
+    quiescent := halted || (all_done && (not inflight) && not !sent_any)
+  done;
+  ( states,
+    {
+      rounds = !round;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_edge_round_bits = !max_edge_round_bits;
+      budget_violations = !budget_violations;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "rounds=%d messages=%d bits=%d max-edge-round-bits=%d violations=%d"
+    s.rounds s.messages s.total_bits s.max_edge_round_bits s.budget_violations

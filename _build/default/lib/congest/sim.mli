@@ -1,0 +1,79 @@
+(** Synchronous CONGEST(log n) round simulator (the model of Section 2).
+
+    A protocol is a pair of callbacks: [init] builds each node's local state
+    from its local {!view} (its id, its incident edges, and [n] — everything
+    the model grants initially), and [step] consumes the inbox delivered at
+    the start of a round and produces messages for neighbors.  The simulator
+    executes rounds until the protocol is quiescent (every node reports done
+    and no message is in flight) or [max_rounds] is reached.
+
+    Message sizes are accounted in bits via [msg_bits]; the simulator records
+    the maximum bits sent over any (edge, direction) in any single round so
+    experiments can verify the O(log n) congestion discipline.  Sending two
+    messages to the same neighbor in one round is allowed but both count
+    against that edge-round's bit total.
+
+    Composition convention: the paper's algorithms are towers of subroutines,
+    each with its own round bound (Bellman-Ford phases, pipelined upcasts,
+    BFS-tree broadcasts).  We simulate each subroutine for real and add up
+    actual rounds in a {!Ledger}; steps the paper itself performs as "locally
+    compute from globally known data" cost zero rounds, and the few steps the
+    paper delegates to a cited black box are charged their stated bound as a
+    named ledger entry (see DESIGN.md). *)
+
+type view = {
+  node : int;
+  n : int;  (** number of nodes in the network *)
+  nbrs : (int * int * int) array;
+      (** (neighbor id, edge weight, edge id), as in {!Dsf_graph.Graph.adj} *)
+}
+
+type ('s, 'm) protocol = {
+  init : view -> 's;
+  step : view -> round:int -> 's -> inbox:(int * 'm) list -> 's * (int * 'm) list;
+      (** [inbox] is the list of (sender, message) delivered this round;
+          returns the new state and the outbox of (neighbor, message). *)
+  is_done : 's -> bool;
+  msg_bits : 'm -> int;
+}
+
+type stats = {
+  rounds : int;  (** rounds actually executed *)
+  messages : int;
+  total_bits : int;
+  max_edge_round_bits : int;
+      (** max bits over a single (edge, direction) in one round *)
+  budget_violations : int;
+      (** edge-rounds exceeding {!Dsf_util.Bitsize.congest_budget} *)
+}
+
+exception Round_limit of int
+
+val set_observer : (src:int -> dst:int -> bits:int -> unit) option -> unit
+(** Install a global message observer: called for every message any
+    simulation sends until cleared.  Pure measurement instrumentation
+    (e.g. counting bits across the Alice/Bob cut in the Section 3
+    lower-bound experiments); it never affects execution. *)
+
+val with_observer :
+  (src:int -> dst:int -> bits:int -> unit) -> (unit -> 'a) -> 'a
+(** Scoped observer; nests by chaining — an enclosing observer keeps
+    seeing the traffic — and restores the previous observer on exit. *)
+
+val run :
+  ?max_rounds:int ->
+  ?halt:('s array -> bool) ->
+  Dsf_graph.Graph.t ->
+  ('s, 'm) protocol ->
+  's array * stats
+(** Runs the protocol to quiescence.  Default [max_rounds] is
+    [10_000 + 200 * n]; raises {!Round_limit} if exceeded (a protocol bug).
+    Messages produced in round [r] are delivered in round [r + 1].
+
+    [halt] is an omniscient early-termination predicate evaluated on the
+    state vector after every round; when it fires the run stops immediately.
+    It models a coordinator aborting a subroutine ("the root detects X and
+    broadcasts stop"): the caller is responsible for charging the O(D)
+    stop-broadcast to its round ledger. *)
+
+val pp_stats : Format.formatter -> stats -> unit

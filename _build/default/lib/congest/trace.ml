@@ -1,0 +1,35 @@
+type t = {
+  mutable messages : int;
+  mutable bits : int;
+  per_edge : (int * int, int) Hashtbl.t;
+}
+
+let record f =
+  let t = { messages = 0; bits = 0; per_edge = Hashtbl.create 64 } in
+  let observe ~src ~dst ~bits =
+    t.messages <- t.messages + 1;
+    t.bits <- t.bits + bits;
+    let key = src, dst in
+    Hashtbl.replace t.per_edge key
+      (bits + Option.value ~default:0 (Hashtbl.find_opt t.per_edge key))
+  in
+  let result = Sim.with_observer observe f in
+  result, t
+
+let messages t = t.messages
+let bits t = t.bits
+let edge_bits t = t.per_edge
+
+let hottest_edges t n =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_edge []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < n)
+
+let bits_between t ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_edge (src, dst))
+
+let pp_summary ppf t =
+  Format.fprintf ppf "messages=%d bits=%d busiest:" t.messages t.bits;
+  List.iter
+    (fun ((s, d), b) -> Format.fprintf ppf " %d->%d:%d" s d b)
+    (hottest_edges t 3)

@@ -1,0 +1,26 @@
+(** Per-run communication profiles, built on {!Sim.set_observer}.
+
+    A trace records, for everything simulated inside its scope, the total
+    messages and bits per (src, dst) directed edge and overall — useful for
+    congestion analysis (which edges are hot?), for the lower-bound
+    experiments, and for the round-profile ablations. *)
+
+type t
+
+val record : (unit -> 'a) -> 'a * t
+(** Run the thunk with recording enabled (composes with an already
+    installed observer: both see the traffic). *)
+
+val messages : t -> int
+val bits : t -> int
+
+val edge_bits : t -> (int * int, int) Hashtbl.t
+(** Directed (src, dst) -> total bits. *)
+
+val hottest_edges : t -> int -> ((int * int) * int) list
+(** The [n] directed edges carrying the most bits, descending. *)
+
+val bits_between : t -> src:int -> dst:int -> int
+(** Bits sent from [src] to [dst] (one direction). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,231 @@
+type 'a up_state = {
+  pending : 'a list;  (** queue of items still to forward to the parent *)
+  received : 'a list;  (** root only: arrival order, reversed *)
+}
+
+let upcast g ~(tree : Bfs.tree) ~items ~bits =
+  let proto : ('a up_state, 'a) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          let mine = items view.Sim.node in
+          if view.Sim.node = tree.root then
+            (* The root's own items need no transport. *)
+            { pending = []; received = List.rev mine }
+          else { pending = mine; received = [] });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          let incoming = List.map snd inbox in
+          if v = tree.root then
+            { st with received = List.rev_append incoming st.received }, []
+          else begin
+            let pending = st.pending @ incoming in
+            match pending with
+            | [] -> { st with pending = [] }, []
+            | item :: rest ->
+                { st with pending = rest }, [ tree.parent.(v), item ]
+          end);
+      is_done = (fun st -> st.pending = []);
+      msg_bits = bits;
+    }
+  in
+  let states, stats = Sim.run g proto in
+  let root_state = states.(tree.root) in
+  List.rev root_state.received, stats
+
+type ('a, 'b) dedup_state = {
+  d_pending : 'a list;
+  d_seen : ('b, 'a list) Hashtbl.t;  (** key -> distinct items kept *)
+  d_received : 'a list;
+}
+
+let upcast_dedup ?(per_key = 1) g ~(tree : Bfs.tree) ~items ~key ~bits =
+  (* Keep an item iff its key has fewer than [per_key] distinct items so
+     far and the item itself is new. *)
+  let admit seen it k =
+    let kept = Option.value ~default:[] (Hashtbl.find_opt seen k) in
+    if List.length kept >= per_key || List.mem it kept then false
+    else begin
+      Hashtbl.replace seen k (it :: kept);
+      true
+    end
+  in
+  let proto : (('a, 'b) dedup_state, 'a) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          let seen = Hashtbl.create 8 in
+          let mine =
+            List.filter (fun it -> admit seen it (key it)) (items view.Sim.node)
+          in
+          if view.Sim.node = tree.root then
+            { d_pending = []; d_seen = seen; d_received = List.rev mine }
+          else { d_pending = mine; d_seen = seen; d_received = [] });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          let fresh =
+            List.filter_map
+              (fun (_, it) ->
+                if admit st.d_seen it (key it) then Some it else None)
+              inbox
+          in
+          if v = tree.root then
+            { st with d_received = List.rev_append fresh st.d_received }, []
+          else begin
+            match st.d_pending @ fresh with
+            | [] -> { st with d_pending = [] }, []
+            | item :: rest ->
+                { st with d_pending = rest }, [ tree.parent.(v), item ]
+          end);
+      is_done = (fun st -> st.d_pending = []);
+      msg_bits = bits;
+    }
+  in
+  let states, stats = Sim.run g proto in
+  let root_state = states.(tree.root) in
+  List.rev root_state.d_received, stats
+
+(* Sequential (non-pipelined) upcast: a best-case centralized schedule lets
+   each item travel to the root alone; the next item departs only after the
+   previous one arrived.  Rounds = sum of the holders' depths — the cost the
+   pipelined versions avoid. *)
+type 'a seq_state = {
+  departures : (int * 'a) list;  (** (round, item) for this node, ascending *)
+  s_received : 'a list;  (** root only, reversed *)
+}
+
+let upcast_sequential g ~(tree : Bfs.tree) ~items ~bits =
+  (* Precompute the departure schedule. *)
+  let schedule = Hashtbl.create 16 in
+  let clock = ref 0 in
+  let root_items = ref [] in
+  for v = 0 to Dsf_graph.Graph.n g - 1 do
+    List.iter
+      (fun it ->
+        if v = tree.root then root_items := it :: !root_items
+        else begin
+          let prev = Option.value ~default:[] (Hashtbl.find_opt schedule v) in
+          Hashtbl.replace schedule v ((!clock, it) :: prev);
+          clock := !clock + tree.depth.(v)
+        end)
+      (items v)
+  done;
+  let proto : ('a seq_state, 'a) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          let v = view.Sim.node in
+          {
+            departures =
+              List.rev (Option.value ~default:[] (Hashtbl.find_opt schedule v));
+            s_received = (if v = tree.root then !root_items else []);
+          });
+      step =
+        (fun view ~round st ~inbox ->
+          let v = view.Sim.node in
+          if v = tree.root then
+            { st with s_received = List.rev_append (List.map snd inbox) st.s_received },
+            []
+          else begin
+            (* Forward anything received, plus any item scheduled now. *)
+            let forward = List.map snd inbox in
+            let due, later =
+              List.partition (fun (r, _) -> r <= round) st.departures
+            in
+            let out =
+              List.map (fun it -> tree.parent.(v), it) forward
+              @ List.map (fun (_, it) -> tree.parent.(v), it) due
+            in
+            { st with departures = later }, out
+          end);
+      is_done = (fun st -> st.departures = []);
+      msg_bits = bits;
+    }
+  in
+  let states, stats = Sim.run g proto in
+  List.rev states.(tree.root).s_received, stats
+
+type 'a down_state = {
+  to_send : 'a list;  (** items not yet forwarded to children *)
+  got : 'a list;  (** all items seen, reversed *)
+}
+
+let broadcast g ~(tree : Bfs.tree) ~items ~bits =
+  let proto : ('a down_state, 'a) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          if view.Sim.node = tree.root then
+            { to_send = items; got = List.rev items }
+          else { to_send = []; got = [] });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          let incoming = List.map snd inbox in
+          let st =
+            {
+              to_send = st.to_send @ incoming;
+              got = List.rev_append incoming st.got;
+            }
+          in
+          match st.to_send with
+          | [] -> st, []
+          | item :: rest ->
+              let outbox =
+                List.map (fun c -> c, item) tree.children.(v)
+              in
+              { st with to_send = rest }, outbox);
+      is_done = (fun st -> st.to_send = []);
+      msg_bits = bits;
+    }
+  in
+  let states, stats = Sim.run g proto in
+  Array.map (fun st -> List.rev st.got) states, stats
+
+type 'a agg_state = {
+  waiting : int;  (** children not yet heard from *)
+  acc : 'a;
+  sent : bool;
+}
+
+let aggregate g ~(tree : Bfs.tree) ~value ~combine ~bits =
+  let proto : ('a agg_state, 'a) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          let v = view.Sim.node in
+          {
+            waiting = List.length tree.children.(v);
+            acc = value v;
+            sent = false;
+          });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          let st =
+            List.fold_left
+              (fun st (_, x) ->
+                { st with waiting = st.waiting - 1; acc = combine st.acc x })
+              st inbox
+          in
+          if st.waiting = 0 && (not st.sent) && v <> tree.root then
+            { st with sent = true }, [ tree.parent.(v), st.acc ]
+          else st, []);
+      (* After any step, waiting = 0 implies the node already reported to its
+         parent (the send fires in the same step that zeroes [waiting]), so
+         [waiting = 0] alone is a sound completion test for root and
+         non-root alike. *)
+      is_done = (fun st -> st.waiting = 0);
+      msg_bits = bits;
+    }
+  in
+  let states, stats = Sim.run g proto in
+  states.(tree.root).acc, stats
+
+let count_nodes g ~tree =
+  aggregate g ~tree
+    ~value:(fun _ -> 1)
+    ~combine:( + )
+    ~bits:(fun x -> Dsf_util.Bitsize.int_bits (max 1 x))

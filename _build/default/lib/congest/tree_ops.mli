@@ -1,0 +1,68 @@
+(** Pipelined communication over a (BFS) tree: convergecast, broadcast, and
+    aggregate reduction.  These are the workhorses behind every "collect X at
+    the root / make X globally known in O(D + |X|) rounds" step in the paper
+    (Lemmas 2.3, 2.4, 4.14, Corollary 4.16, the transforms, and the
+    randomized algorithm's per-phase bookkeeping).
+
+    All functions genuinely simulate message passing round by round; one item
+    crosses one edge per round, so the round counts exhibit the pipelining
+    the paper's analysis relies on. *)
+
+val upcast :
+  Dsf_graph.Graph.t ->
+  tree:Bfs.tree ->
+  items:(int -> 'a list) ->
+  bits:('a -> int) ->
+  'a list * Sim.stats
+(** Collect all items at the root (no filtering, duplicates preserved).
+    Returns the root's received list (own items first, then arrival order).
+    Rounds ~ height + max path congestion. *)
+
+val upcast_dedup :
+  ?per_key:int ->
+  Dsf_graph.Graph.t ->
+  tree:Bfs.tree ->
+  items:(int -> 'a list) ->
+  key:('a -> 'b) ->
+  bits:('a -> int) ->
+  'a list * Sim.stats
+(** Like {!upcast}, but each node forwards at most [per_key] distinct items
+    per key (default 1) — the "ignore further messages with this label"
+    filtering of Lemmas 2.3/2.4 (which needs [per_key = 2]: a label is
+    non-singleton as soon as two witnesses exist).  Duplicate items (equal
+    as values) are never forwarded twice. *)
+
+val upcast_sequential :
+  Dsf_graph.Graph.t ->
+  tree:Bfs.tree ->
+  items:(int -> 'a list) ->
+  bits:('a -> int) ->
+  'a list * Sim.stats
+(** The NON-pipelined strawman used by the A1 ablation: items travel to
+    the root one at a time under a best-case centralized schedule — each
+    item is fully delivered before the next departs, so rounds ~ sum of
+    item depths instead of height + count.  This is the congestion
+    behaviour the paper's pipelining (Lemma 4.14, Section 5) eliminates. *)
+
+val broadcast :
+  Dsf_graph.Graph.t ->
+  tree:Bfs.tree ->
+  items:'a list ->
+  bits:('a -> int) ->
+  'a list array * Sim.stats
+(** Pipeline the root's item list down the tree; every node ends with the
+    full list (in order).  Rounds ~ height + |items|. *)
+
+val aggregate :
+  Dsf_graph.Graph.t ->
+  tree:Bfs.tree ->
+  value:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  bits:('a -> int) ->
+  'a * Sim.stats
+(** Bottom-up reduction with an associative, commutative [combine]; the
+    result over all nodes lands at the root.  Rounds ~ height. *)
+
+val count_nodes : Dsf_graph.Graph.t -> tree:Bfs.tree -> int * Sim.stats
+(** Convergecast count of all nodes ([n] as computed in the paper's
+    footnote 2). *)

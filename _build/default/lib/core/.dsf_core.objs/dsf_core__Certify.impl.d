@@ -1,0 +1,1 @@
+lib/core/certify.ml: Array Dsf_graph Format Printf

@@ -1,0 +1,1 @@
+lib/core/det_dsf.ml: Array Dsf_congest Dsf_graph Dsf_util Frac Fun Hashtbl List Printf Region_bf Select Transform

@@ -1,0 +1,1 @@
+lib/core/det_dsf.mli: Dsf_congest Dsf_graph Frac

@@ -1,0 +1,1 @@
+lib/core/det_sublinear.ml: Array Dsf_congest Dsf_graph Dsf_util Frac Fun Hashtbl List Moat_rounded Option Printf Pruning Region_bf Select Transform

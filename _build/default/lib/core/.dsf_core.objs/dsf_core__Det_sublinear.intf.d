@@ -1,0 +1,1 @@
+lib/core/det_sublinear.mli: Dsf_congest Dsf_graph

@@ -1,0 +1,1 @@
+lib/core/f6_protocol.ml: Array Dsf_congest Dsf_graph Dsf_util Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/core/f6_protocol.mli: Dsf_congest Dsf_graph

@@ -1,0 +1,1 @@
+lib/core/frac.ml: Format Printf Stdlib

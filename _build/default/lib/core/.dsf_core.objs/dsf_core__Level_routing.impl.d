@@ -1,0 +1,1 @@
+lib/core/level_routing.ml: Dsf_congest Dsf_embed Dsf_graph Dsf_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/level_routing.mli: Dsf_congest Dsf_embed Dsf_graph Hashtbl

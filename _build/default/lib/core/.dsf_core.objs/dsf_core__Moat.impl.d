@@ -1,0 +1,1 @@
+lib/core/moat.ml: Array Dsf_graph Dsf_util Frac List Moat_common

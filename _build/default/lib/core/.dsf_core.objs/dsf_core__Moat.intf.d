@@ -1,0 +1,1 @@
+lib/core/moat.mli: Dsf_graph Frac

@@ -1,0 +1,1 @@
+lib/core/moat_common.ml: Array Dsf_graph Dsf_util Frac Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/moat_common.mli: Dsf_graph Dsf_util Frac

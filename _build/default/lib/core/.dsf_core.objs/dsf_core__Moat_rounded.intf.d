@@ -1,0 +1,1 @@
+lib/core/moat_rounded.mli: Dsf_graph Frac

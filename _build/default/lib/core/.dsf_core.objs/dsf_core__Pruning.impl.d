@@ -1,0 +1,1 @@
+lib/core/pruning.ml: Array Dsf_congest Dsf_graph Dsf_util F6_protocol Fun Hashtbl List Option Printf Queue

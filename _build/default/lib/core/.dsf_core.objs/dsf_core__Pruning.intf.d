@@ -1,0 +1,1 @@
+lib/core/pruning.mli: Dsf_congest Dsf_graph

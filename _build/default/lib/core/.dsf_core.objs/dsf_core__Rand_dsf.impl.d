@@ -1,0 +1,1 @@
+lib/core/rand_dsf.ml: Array Dsf_congest Dsf_embed Dsf_graph Dsf_util Hashtbl Level_routing List Option Printf Reduced_solver Transform

@@ -1,0 +1,1 @@
+lib/core/rand_dsf.mli: Dsf_congest Dsf_graph Dsf_util

@@ -1,0 +1,1 @@
+lib/core/reduced_solver.ml: Array Dsf_congest Dsf_graph Dsf_util Hashtbl List Moat Option

@@ -1,0 +1,1 @@
+lib/core/reduced_solver.mli: Dsf_graph

@@ -1,0 +1,1 @@
+lib/core/region_bf.ml: Array Dsf_congest Dsf_graph Dsf_util Frac Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/region_bf.mli: Dsf_congest Dsf_graph Frac

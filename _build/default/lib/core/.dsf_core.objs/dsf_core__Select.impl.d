@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Dsf_congest Dsf_graph List

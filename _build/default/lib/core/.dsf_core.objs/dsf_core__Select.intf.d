@@ -1,0 +1,1 @@
+lib/core/select.mli: Dsf_congest Dsf_graph

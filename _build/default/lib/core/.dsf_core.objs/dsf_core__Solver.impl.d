@@ -1,0 +1,1 @@
+lib/core/solver.ml: Det_dsf Det_sublinear Dsf_congest Dsf_graph Dsf_util Frac List Moat Printf Rand_dsf Transform

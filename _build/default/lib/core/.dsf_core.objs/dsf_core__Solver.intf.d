@@ -1,0 +1,1 @@
+lib/core/solver.mli: Dsf_congest Dsf_graph Dsf_util

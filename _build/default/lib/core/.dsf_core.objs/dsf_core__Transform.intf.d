@@ -1,0 +1,1 @@
+lib/core/transform.mli: Dsf_graph

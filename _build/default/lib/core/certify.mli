@@ -1,0 +1,30 @@
+(** Independent solution certification.
+
+    The moat-growing algorithms are self-certifying (Lemma C.4): every run
+    hands back the dual value Σ act·µ, a lower bound on the weight of EVERY
+    feasible solution.  This module re-checks, from scratch and with no
+    trust in the solver, that a claimed (solution, dual) pair is internally
+    consistent — the check a skeptical downstream consumer would run. *)
+
+type report = {
+  feasible : bool;
+  forest : bool;
+  minimal : bool;  (** no solution edge can be dropped *)
+  weight : int;
+  dual : float option;
+  certified_ratio : float option;
+      (** weight / dual — a PROVEN upper bound on weight/OPT *)
+}
+
+val check :
+  ?dual:float ->
+  Dsf_graph.Instance.ic ->
+  solution:bool array ->
+  (report, string) Stdlib.result
+(** [Error msg] when the certificate is inconsistent: infeasible solution,
+    dual exceeding the solution weight, or a certified ratio above 2 + eps
+    for a claimed 2-ish-approximation would all be caller-level errors —
+    this function only rejects outright contradictions (infeasibility,
+    dual > weight) and reports the rest. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,43 @@
+(** Distributed deterministic Steiner Forest (Section 4.1, Theorem 4.17):
+    a CONGEST emulation of the moat-growing Algorithm 1 with approximation
+    factor 2 and round complexity O(ks + t).
+
+    Structure (Appendix E.1), all phases genuinely simulated:
+
+    + BFS tree; collect and broadcast all (terminal, label) pairs —
+      O(D + t) rounds, pipelined.
+    + Per merge phase j: compute the terminal decomposition with a
+      reduced-weight multi-source Bellman-Ford (Lemma 4.8, O(s) rounds);
+      boundary nodes propose candidate merges; a pipelined Kruskal-filtered
+      convergecast (Corollary 4.16) delivers them in ascending order to the
+      root, which stops at the first merge that changes some terminal's
+      activity status; the phase's merges are broadcast, and every node
+      locally updates moats, radii, activity, and its region freeze.
+    + Finally each node locally computes the minimal candidate subforest
+      F_min and path edges are marked by tokens climbing the frozen
+      region trees (O(s) rounds).
+
+    The per-merge growth values are exposed so tests can check that the
+    emulation follows exactly the merge schedule of the centralized
+    {!Moat}. *)
+
+type merge_info = {
+  mu_total : Frac.t;  (** growth from phase start until this merge *)
+  mu_increment : Frac.t;  (** growth since the previous merge *)
+  terminals : int * int;  (** terminal node ids whose moats merged *)
+  phase : int;
+}
+
+type result = {
+  solution : bool array;  (** the returned minimal feasible forest *)
+  weight : int;
+  dual : Frac.t;  (** same certified lower bound as {!Moat} *)
+  merges : merge_info list;
+  phase_count : int;
+  ledger : Dsf_congest.Ledger.t;  (** full round accounting *)
+  max_edge_round_bits : int;  (** congestion discipline check *)
+}
+
+val run : Dsf_graph.Instance.ic -> result
+(** Requires a connected graph.  Singleton components are dropped
+    (Lemma 2.4; the O(D + k) transform is charged to the ledger). *)

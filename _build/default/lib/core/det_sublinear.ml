@@ -1,0 +1,618 @@
+module Graph = Dsf_graph.Graph
+module Instance = Dsf_graph.Instance
+module Paths = Dsf_graph.Paths
+module Uf = Dsf_util.Union_find
+module Sim = Dsf_congest.Sim
+module Bfs = Dsf_congest.Bfs
+module Tree_ops = Dsf_congest.Tree_ops
+module Pipeline = Dsf_congest.Pipeline
+module Ledger = Dsf_congest.Ledger
+module Bitsize = Dsf_util.Bitsize
+
+type result = {
+  solution : bool array;
+  weight : int;
+  ledger : Dsf_congest.Ledger.t;
+  sigma : int;
+  growth_phases : int;
+  merge_phase_count : int;
+  merge_count : int;
+  merge_pairs : (int * int) list;
+  small_moat_iterations : int;
+}
+
+(* Candidate key: phase-major, then reduced weight, then owners and edge
+   (Lemma 4.13's order). *)
+type ckey = { phase : int; mu : Frac.t; pair : int * int; eid : int }
+
+let ckey_cmp a b =
+  let c = compare a.phase b.phase in
+  if c <> 0 then c
+  else begin
+    let c = Frac.compare a.mu b.mu in
+    if c <> 0 then c else compare (a.pair, a.eid) (b.pair, b.eid)
+  end
+
+(* Globally replicated Algorithm-2 moat state. *)
+type gstate = {
+  terms : int array;
+  tindex : (int, int) Hashtbl.t;
+  labels : int array;
+  moats : Uf.t;
+  label_uf : Uf.t;
+  act : bool array;
+}
+
+let g_label gs ti = Uf.find gs.label_uf gs.labels.(ti)
+let g_active gs ti = gs.act.(Uf.find gs.moats ti)
+
+let g_lone_label gs ti =
+  let rep = Uf.find gs.moats ti in
+  let lbl = g_label gs ti in
+  let lone = ref true in
+  Array.iteri
+    (fun tj _ ->
+      if Uf.find gs.moats tj <> rep && g_label gs tj = lbl then lone := false)
+    gs.terms;
+  !lone
+
+let g_exists_active gs =
+  let found = ref false in
+  Array.iteri (fun ti _ -> if g_active gs ti then found := true) gs.terms;
+  !found
+
+(* Algorithm 2 merge: moats and labels merge, result always active. *)
+let g_apply gs (a, b) =
+  let la = g_label gs a and lb = g_label gs b in
+  ignore (Uf.union gs.moats a b);
+  if la <> lb then ignore (Uf.union gs.label_uf la lb);
+  gs.act.(Uf.find gs.moats a) <- true
+
+let g_recompute_activity gs =
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun ti _ ->
+      let rep = Uf.find gs.moats ti in
+      if not (Hashtbl.mem seen rep) then begin
+        Hashtbl.add seen rep ();
+        gs.act.(rep) <- not (g_lone_label gs ti)
+      end)
+    gs.terms
+
+let isqrt = Dsf_util.Intmath.isqrt
+
+let ceil_log2 = Dsf_util.Intmath.ceil_log2
+
+let run ~eps_num ~eps_den inst0 =
+  if eps_num <= 0 || eps_den <= 0 || eps_num > eps_den then
+    invalid_arg "Det_sublinear.run: need 0 < eps <= 1";
+  let minimalized = Transform.minimalize inst0 in
+  let inst = minimalized.Transform.value in
+  let g = inst.Instance.graph in
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let ledger = Ledger.create () in
+  let terms = Array.of_list (Instance.terminals inst) in
+  let t = Array.length terms in
+  let scale = ((8 * eps_den) + eps_num - 1) / eps_num in
+  if t = 0 then
+    {
+      solution = Array.make m false;
+      weight = 0;
+      ledger;
+      sigma = 0;
+      growth_phases = 0;
+      merge_phase_count = 0;
+      merge_count = 0;
+      merge_pairs = [];
+      small_moat_iterations = 0;
+    }
+  else begin
+    (* All simulation runs on the scaled graph (identical topology and edge
+       ids) so integer thresholds coexist with exact fractional radii. *)
+    let g_scaled =
+      Graph.make ~n
+        (Array.to_list (Graph.edges g)
+        |> List.map (fun (e : Graph.edge) -> e.u, e.v, e.w * scale))
+    in
+    let _, _, s = Paths.parameters g in
+    let sigma = isqrt (min (s * t) n) in
+    (* The nodes learn n, t and (an estimate of) s by convergecast plus a
+       full Bellman-Ford run (footnote 2's technique), simulated. *)
+    let _, n_rounds = Dsf_congest.Params.count_nodes g in
+    let s_rounds =
+      match Dsf_congest.Params.estimate_s ~cap:(n + 1) g with
+      | `Stabilized _, r | `Exceeded, r -> r
+    in
+    Ledger.add ledger Ledger.Simulated "setup: determine s, t, sigma"
+      (n_rounds + s_rounds);
+    let root = Bfs.max_id_root g in
+    let tree, bfs_stats = Bfs.build g_scaled ~root in
+    Ledger.add ledger Ledger.Simulated "setup: BFS tree" bfs_stats.Sim.rounds;
+    Ledger.add ledger Ledger.Simulated
+      "setup: minimalize + moat-label bookkeeping (Lemma 2.4)"
+      minimalized.Transform.rounds;
+    let tindex = Hashtbl.create t in
+    Array.iteri (fun i v -> Hashtbl.add tindex v i) terms;
+    let labels = Array.map (fun v -> inst.Instance.labels.(v)) terms in
+    let max_label = Array.fold_left max 0 labels in
+    let gs =
+      {
+        terms;
+        tindex;
+        labels;
+        moats = Uf.create t;
+        label_uf = Uf.create (max_label + 1);
+        act = Array.make t true;
+      }
+    in
+    (* Per-node region state on the scaled graph. *)
+    let owner = Array.make n (-1) in
+    let offset = Array.make n Frac.zero in
+    let parent = Array.make n (-1) in
+    let covered = Array.make n false in
+    Array.iter
+      (fun v ->
+        owner.(v) <- v;
+        covered.(v) <- true)
+      terms;
+    (* Omniscient materialization of F (for Definition 4.18 small/large
+       classification); the distributed output is built by token flood. *)
+    let forest = Array.make m false in
+    let uf_nodes = Uf.create n in
+    let materialize (key : ckey) =
+      let e = Graph.edge g key.eid in
+      let add eid =
+        let u, v = Graph.endpoints g eid in
+        if Uf.union uf_nodes u v then forest.(eid) <- true
+      in
+      add key.eid;
+      let rec climb u =
+        if parent.(u) >= 0 then begin
+          (match Graph.find_edge g u parent.(u) with
+          | Some eid -> add eid
+          | None -> assert false);
+          climb parent.(u)
+        end
+      in
+      climb e.Graph.u;
+      climb e.Graph.v
+    in
+    let accepted : ((int * int) * ckey) list ref = ref [] in
+    let merge_pairs = ref [] in
+    let merge_count = ref 0 in
+    let apply_merge (a, b) (key : ckey) =
+      g_apply gs (a, b);
+      materialize key;
+      accepted := ((a, b), key) :: !accepted;
+      merge_pairs := key.pair :: !merge_pairs;
+      incr merge_count
+    in
+    let pre_pairs () = List.map fst !accepted in
+    let mu_hat = ref ((scale + 1) / 2) in
+    let total_growth = ref Frac.zero in
+    let growth_phases = ref 0 in
+    let merge_phase_count = ref 0 in
+    let small_iterations = ref 0 in
+    let max_growth_phases =
+      (2 * (ceil_log2 (max 2 (Paths.diameter_weighted g_scaled)) + 2) * (2 * eps_den / eps_num + 2))
+      + 16
+    in
+    while g_exists_active gs && !growth_phases < max_growth_phases do
+      incr growth_phases;
+      let gtag label = Printf.sprintf "growth %d: %s" !growth_phases label in
+      (* Per-node committed active-active candidates of this growth phase. *)
+      let store : ckey Pipeline.item list array = Array.make n [] in
+      (* ---- Step 3a: merge phases driven by active-inactive events. ---- *)
+      let phase_in_growth = ref 0 in
+      let continue_3a = ref true in
+      while !continue_3a do
+        incr merge_phase_count;
+        incr phase_in_growth;
+        let j = !merge_phase_count in
+        let owner_active u =
+          owner.(u) >= 0 && g_active gs (Hashtbl.find tindex owner.(u))
+        in
+        let frozen =
+          Array.init n (fun u -> covered.(u) && not (owner_active u))
+        in
+        let sources =
+          Array.to_list
+            (Array.init n (fun u ->
+                 if covered.(u) && owner_active u then
+                   Some (u, offset.(u), owner.(u))
+                 else None))
+          |> List.filter_map Fun.id
+        in
+        let bf, bf_stats = Region_bf.run g_scaled ~sources ~frozen in
+        Ledger.add ledger Ledger.Simulated
+          (gtag (Printf.sprintf "phase %d decomposition BF" !phase_in_growth))
+          bf_stats.Sim.rounds;
+        let ex_stats =
+          Dsf_congest.Exchange.all_neighbors g_scaled
+            ~payload_bits:((2 * Bitsize.id_bits ~n) + 2)
+        in
+        Ledger.add ledger Ledger.Simulated (gtag "boundary exchange") ex_stats.Sim.rounds;
+        let towner u = if frozen.(u) then owner.(u) else bf.(u).Region_bf.owner in
+        let toffset u = if frozen.(u) then offset.(u) else bf.(u).Region_bf.offset in
+        (* Local candidate generation: split by neighbor activity. *)
+        let temp_aa = ref [] in
+        let min_ai = ref None in
+        for u = 0 to n - 1 do
+          if (not frozen.(u)) && towner u >= 0 then begin
+            let ou = towner u in
+            let ti = Hashtbl.find tindex ou in
+            if g_active gs ti then begin
+              let du = toffset u in
+              Array.iter
+                (fun (nb, w, eid) ->
+                  let onb = towner nb in
+                  if onb >= 0 && onb <> ou then begin
+                    let tj = Hashtbl.find tindex onb in
+                    if not (Uf.same gs.moats ti tj) then begin
+                      let total =
+                        Frac.add (Frac.add du (Frac.of_int w)) (toffset nb)
+                      in
+                      (* Strictly negative slack means the pair's merge was
+                         already applied (the edge is interior); zero slack
+                         is a pending event — balls touching exactly at a
+                         threshold defer to the next phase with mu = 0. *)
+                      let fully_covered =
+                        covered.(u) && covered.(nb) && Frac.sign total < 0
+                      in
+                      if not fully_covered then begin
+                        let pair = min ou onb, max ou onb in
+                        if g_active gs tj then begin
+                          let key =
+                            { phase = j; mu = Frac.half total; pair; eid }
+                          in
+                          temp_aa :=
+                            (u, { Pipeline.key; a = ti; b = tj }) :: !temp_aa
+                        end
+                        else begin
+                          let key = { phase = j; mu = total; pair; eid } in
+                          let cand = key, ti, tj in
+                          let better =
+                            match !min_ai with
+                            | None -> true
+                            | Some (bk, _, _) -> ckey_cmp key bk < 0
+                          in
+                          if better then min_ai := Some cand
+                        end
+                      end
+                    end
+                  end)
+                (Graph.adj g_scaled u)
+            end
+          end
+        done;
+        (* Min active-inactive candidate via a simulated convergecast. *)
+        let _, agg_stats =
+          Tree_ops.aggregate g_scaled ~tree
+            ~value:(fun _ -> 1)
+            ~combine:min
+            ~bits:(fun _ -> 4 * Bitsize.id_bits ~n)
+        in
+        Ledger.add ledger Ledger.Simulated (gtag "min-candidate convergecast")
+          agg_stats.Sim.rounds;
+        let _, mb_stats =
+          Tree_ops.broadcast g_scaled ~tree ~items:[ () ] ~bits:(fun () -> 1)
+        in
+        Ledger.add ledger Ledger.Simulated (gtag "min-candidate broadcast")
+          mb_stats.Sim.rounds;
+        let remaining = Frac.sub (Frac.of_int !mu_hat) !total_growth in
+        let threshold_hit =
+          match !min_ai with
+          | None -> true
+          | Some (key, _, _) -> Frac.compare key.mu remaining >= 0
+        in
+        let mu_j = if threshold_hit then remaining else (match !min_ai with Some (k, _, _) -> k.mu | None -> assert false) in
+        (* Commit this phase's active-active candidates: real iff the merge
+           falls within the phase's growth (strictly, unless the phase ended
+           with a merge at exactly mu_j). *)
+        List.iter
+          (fun (u, (it : ckey Pipeline.item)) ->
+            let c = Frac.compare it.Pipeline.key.mu mu_j in
+            if c < 0 || (c = 0 && not threshold_hit) then
+              store.(u) <- it :: store.(u))
+          !temp_aa;
+        (* Coverage update for growth mu_j. *)
+        let active_at_start u = (not frozen.(u)) && towner u >= 0
+          && g_active gs (Hashtbl.find tindex (towner u)) in
+        for u = 0 to n - 1 do
+          if active_at_start u then begin
+            if covered.(u) then offset.(u) <- Frac.sub offset.(u) mu_j
+            else if Frac.compare (bf.(u).Region_bf.offset) mu_j <= 0 then begin
+              covered.(u) <- true;
+              owner.(u) <- bf.(u).Region_bf.owner;
+              parent.(u) <- bf.(u).Region_bf.parent;
+              offset.(u) <- Frac.sub bf.(u).Region_bf.offset mu_j
+            end
+          end
+        done;
+        total_growth := Frac.add !total_growth mu_j;
+        if threshold_hit then continue_3a := false
+        else begin
+          match !min_ai with
+          | Some (key, ti, tj) -> apply_merge (ti, tj) key
+          | None -> assert false
+        end
+      done;
+      (* ---- Steps 3b-3f: deferred active-active merges. ---- *)
+      let moat_rep ti = Uf.find gs.moats ti in
+      let component_small () =
+        (* Small iff the moat's component in (V, F) has < sigma nodes
+           (Definition 4.18). *)
+        let sizes = Hashtbl.create 16 in
+        for u = 0 to n - 1 do
+          let r = Uf.find uf_nodes u in
+          Hashtbl.replace sizes r
+            (1 + Option.value ~default:0 (Hashtbl.find_opt sizes r))
+        done;
+        fun ti ->
+          let node = gs.terms.(ti) in
+          let r = Uf.find uf_nodes node in
+          Option.value ~default:1 (Hashtbl.find_opt sizes r) < sigma
+      in
+      let max_iters = ceil_log2 (max 2 sigma) + 1 in
+      let progressing = ref true in
+      let iter = ref 0 in
+      (* Communication structure for in-moat aggregation: the selected
+         forest plus the frozen region trees (every candidate-holding node
+         hangs off its owner terminal through them). *)
+      let moat_mask () =
+        let mask = Array.copy forest in
+        for u = 0 to n - 1 do
+          if covered.(u) && parent.(u) >= 0 then begin
+            match Graph.find_edge g u parent.(u) with
+            | Some eid -> mask.(eid) <- true
+            | None -> ()
+          end
+        done;
+        mask
+      in
+      let item_bits (it : ckey Pipeline.item) =
+        Bitsize.int_bits (abs it.Pipeline.key.mu.Frac.num)
+        + Bitsize.int_bits (max 1 it.Pipeline.key.mu.Frac.den_pow)
+        + (4 * Bitsize.id_bits ~n)
+      in
+      while !progressing && !iter < max_iters do
+        incr iter;
+        incr small_iterations;
+        let is_small = component_small () in
+        (* Step 3bi: each moat aggregates its minimal live candidate by
+           gossip along its forest + region-tree edges (simulated). *)
+        let live (it : ckey Pipeline.item) =
+          not (Uf.same gs.moats it.Pipeline.a it.Pipeline.b)
+        in
+        let node_min u =
+          List.fold_left
+            (fun acc it ->
+              if not (live it) then acc
+              else begin
+                match acc with
+                | Some best when ckey_cmp best.Pipeline.key it.Pipeline.key <= 0 ->
+                    acc
+                | _ -> Some it
+              end)
+            None store.(u)
+        in
+        let gossip, gossip_stats =
+          Dsf_congest.Component_ops.component_min_item g_scaled
+            ~mask:(moat_mask ()) ~values:node_min
+            ~cmp:(fun a b -> ckey_cmp a.Pipeline.key b.Pipeline.key)
+            ~bits:item_bits
+        in
+        Ledger.add ledger Ledger.Simulated
+          (gtag (Printf.sprintf "small-moat proposal gossip %d (Step 3bi)" !iter))
+          gossip_stats.Sim.rounds;
+        (* Read each small moat's proposal at one of its terminals. *)
+        let proposals = Hashtbl.create 16 in
+        Array.iteri
+          (fun ti _ ->
+            let rep = moat_rep ti in
+            if is_small ti && not (Hashtbl.mem proposals rep) then begin
+              match gossip.(gs.terms.(ti)) with
+              | Some it when live it ->
+                  Hashtbl.replace proposals rep (it.Pipeline.key, it)
+              | _ -> ()
+            end)
+          gs.terms;
+        if Hashtbl.length proposals = 0 then progressing := false
+        else begin
+          (* Greedy maximal matching on small-small proposals, then
+             unmatched small moats re-add their proposal (Step 3bii). *)
+          let matched = Hashtbl.create 16 in
+          let chosen = ref [] in
+          let proposals_sorted =
+            Hashtbl.fold (fun rep (k, it) acc -> (k, rep, it) :: acc) proposals []
+            |> List.sort (fun (k1, _, _) (k2, _, _) -> ckey_cmp k1 k2)
+          in
+          List.iter
+            (fun (_, _, (it : ckey Pipeline.item)) ->
+              let ra = moat_rep it.Pipeline.a and rb = moat_rep it.Pipeline.b in
+              if
+                is_small it.Pipeline.a && is_small it.Pipeline.b
+                && (not (Hashtbl.mem matched ra))
+                && not (Hashtbl.mem matched rb)
+              then begin
+                Hashtbl.add matched ra ();
+                Hashtbl.add matched rb ();
+                chosen := it :: !chosen
+              end)
+            proposals_sorted;
+          List.iter
+            (fun (_, rep, (it : ckey Pipeline.item)) ->
+              if not (Hashtbl.mem matched rep) then chosen := it :: !chosen)
+            proposals_sorted;
+          (* Apply in ascending order, dropping cycle-closers. *)
+          let in_order =
+            List.sort
+              (fun (a : ckey Pipeline.item) b -> ckey_cmp a.Pipeline.key b.Pipeline.key)
+              !chosen
+          in
+          List.iter
+            (fun (it : ckey Pipeline.item) ->
+              if not (Uf.same gs.moats it.Pipeline.a it.Pipeline.b) then
+                apply_merge (it.Pipeline.a, it.Pipeline.b) it.Pipeline.key)
+            in_order;
+          (* The matching coordination itself (3-coloring of the proposal
+             pseudo-forest, routed through the moat trees) is charged at
+             the Lemma F.4 bound; the primitive is implemented and tested
+             standalone in {!Dsf_congest.Coloring}. *)
+          Ledger.add ledger Ledger.Charged
+            (gtag
+               (Printf.sprintf
+                  "matching via Cole-Vishkin %d (Lemma F.4, [6])" !iter))
+            ((4 * ceil_log2 (max 2 sigma)) + 8)
+        end
+      done;
+      (* Pipelined Kruskal filter for whatever remains (Lemma 4.14). *)
+      let leftover_exists =
+        List.exists
+          (fun (it : ckey Pipeline.item) ->
+            not (Uf.same gs.moats it.Pipeline.a it.Pipeline.b))
+          (Array.to_list store |> List.concat)
+      in
+      if leftover_exists then begin
+        let items u =
+          List.filter
+            (fun (it : ckey Pipeline.item) ->
+              not (Uf.same gs.moats it.Pipeline.a it.Pipeline.b))
+            store.(u)
+        in
+        let bits (it : ckey Pipeline.item) =
+          Bitsize.int_bits (abs it.Pipeline.key.mu.Frac.num)
+          + Bitsize.int_bits (max 1 it.Pipeline.key.mu.Frac.den_pow)
+          + (4 * Bitsize.id_bits ~n)
+        in
+        let selected, pipe_stats =
+          Pipeline.filtered_upcast g_scaled ~tree ~vn:t ~pre:(pre_pairs ())
+            ~items ~cmp:ckey_cmp ~bits
+        in
+        Ledger.add ledger Ledger.Simulated (gtag "pipelined merge filter")
+          pipe_stats.Sim.rounds;
+        let _, mb2_stats =
+          Tree_ops.broadcast g_scaled ~tree ~items:selected ~bits
+        in
+        Ledger.add ledger Ledger.Simulated (gtag "merge broadcast")
+          mb2_stats.Sim.rounds;
+        List.iter
+          (fun (it : ckey Pipeline.item) ->
+            if not (Uf.same gs.moats it.Pipeline.a it.Pipeline.b) then
+              apply_merge (it.Pipeline.a, it.Pipeline.b) it.Pipeline.key)
+          selected
+      end;
+      (* ---- Steps 3g-3i: activity recomputation at the threshold, via the
+         Lemma 2.4 technique the paper prescribes: every terminal reports
+         (label-class, moat-leader); inner nodes forward at most two
+         distinct witnesses per class, so a class is unsatisfied iff the
+         root hears it with two distinct leaders.  Genuinely simulated. ---- *)
+      let moat_leader ti =
+        (* Largest terminal node id in the moat — the L(M) convention. *)
+        let rep = Uf.find gs.moats ti in
+        let best = ref (-1) in
+        Array.iteri
+          (fun tj node ->
+            if Uf.find gs.moats tj = rep && node > !best then best := node)
+          gs.terms;
+        !best
+      in
+      let witness_items v =
+        match Hashtbl.find_opt tindex v with
+        | Some ti -> [ g_label gs ti, moat_leader ti ]
+        | None -> []
+      in
+      let witnesses, w_stats =
+        Tree_ops.upcast_dedup ~per_key:2 g_scaled ~tree ~items:witness_items
+          ~key:fst
+          ~bits:(fun _ -> 2 * Bitsize.id_bits ~n)
+      in
+      Ledger.add ledger Ledger.Simulated
+        (gtag "activity recomputation: witness convergecast (Lemma 2.4)")
+        w_stats.Sim.rounds;
+      let leaders_of = Hashtbl.create 16 in
+      List.iter
+        (fun (cls, leader) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt leaders_of cls) in
+          if not (List.mem leader prev) then
+            Hashtbl.replace leaders_of cls (leader :: prev))
+        witnesses;
+      let unsatisfied =
+        Hashtbl.fold
+          (fun cls leaders acc ->
+            if List.length leaders >= 2 then cls :: acc else acc)
+          leaders_of []
+      in
+      let _, ab_stats =
+        Tree_ops.broadcast g_scaled ~tree ~items:unsatisfied
+          ~bits:(fun _ -> Bitsize.id_bits ~n)
+      in
+      Ledger.add ledger Ledger.Simulated
+        (gtag "activity recomputation: unsatisfied-class broadcast")
+        ab_stats.Sim.rounds;
+      (* Everyone updates locally; cross-check against the definitional
+         rule (a moat is active iff it is not alone with its class). *)
+      let seen = Hashtbl.create 16 in
+      Array.iteri
+        (fun ti _ ->
+          let rep = Uf.find gs.moats ti in
+          if not (Hashtbl.mem seen rep) then begin
+            Hashtbl.add seen rep ();
+            gs.act.(rep) <- List.mem (g_label gs ti) unsatisfied
+          end)
+        gs.terms;
+      let from_protocol = Array.copy gs.act in
+      g_recompute_activity gs;
+      assert (from_protocol = gs.act);
+      mu_hat := Moat_rounded.next_threshold ~eps_num ~eps_den !mu_hat
+    done;
+    if g_exists_active gs then
+      invalid_arg "Det_sublinear.run: growth-phase budget exhausted (bug)";
+    (* ---- Final selection and pruning (Appendix F.3). ---- *)
+    let all_merges = List.rev !accepted in
+    let needed ((a0, b0), _) =
+      let uf = Uf.create t in
+      List.iter
+        (fun ((a, b), _) -> if (a, b) <> (a0, b0) then ignore (Uf.union uf a b))
+        all_merges;
+      let disconnects = ref false in
+      for ti = 0 to t - 1 do
+        for tj = ti + 1 to t - 1 do
+          if labels.(ti) = labels.(tj) && not (Uf.same uf ti tj) then
+            disconnects := true
+        done
+      done;
+      !disconnects
+    in
+    let fmin = List.filter needed all_merges in
+    let seeds = Array.make n false in
+    let solution = Array.make m false in
+    List.iter
+      (fun (_, (key : ckey)) ->
+        let e = Graph.edge g key.eid in
+        solution.(key.eid) <- true;
+        seeds.(e.Graph.u) <- true;
+        seeds.(e.Graph.v) <- true)
+      fmin;
+    let flood_edges, tf_stats = Select.token_flood g ~parent ~seeds in
+    Ledger.add ledger Ledger.Simulated "final: token flood" tf_stats.Sim.rounds;
+    List.iter (fun eid -> solution.(eid) <- true) flood_edges;
+    (* The merge-level F_min above is not quite edge-minimal (merge paths
+       can overlap at Steiner nodes); the fast pruning routine of
+       Appendix F.3 finishes the job distributively. *)
+    let pr = Pruning.run inst ~f:solution ~sigma in
+    Ledger.merge_into ~dst:ledger pr.Pruning.ledger;
+    let solution = pr.Pruning.pruned in
+    {
+      solution;
+      weight = Instance.solution_weight inst solution;
+      ledger;
+      sigma;
+      growth_phases = !growth_phases;
+      merge_phase_count = !merge_phase_count;
+      merge_count = !merge_count;
+      merge_pairs = List.rev !merge_pairs;
+      small_moat_iterations = !small_iterations;
+    }
+  end

@@ -1,0 +1,37 @@
+(** Centralized moat-growing (Algorithm 1) — the Agrawal-Klein-Ravi
+    primal-dual 2-approximation for Steiner Forest, in the exact form the
+    paper states it (Appendix C) and later emulates distributively.
+
+    All terminals grow "moats" (balls) at unit rate; when two moats touch, a
+    least-weight path between the closest terminal pair is added to the
+    output and the moats merge.  A merged moat goes inactive once its moat is
+    the only one carrying its (merged) input-component label.  The algorithm
+    also certifies its own quality: the dual value [sum_i act_i * mu_i] is a
+    lower bound on the weight of EVERY feasible solution (Lemma C.4), and the
+    output weight is below twice that (Theorem 4.1).
+
+    Radii are exact dyadic rationals ({!Frac}). *)
+
+type merge_record = {
+  step : int;  (** merge index i, starting at 1 *)
+  mu : Frac.t;  (** moat growth before this merge *)
+  active_moats : int;  (** act_i: active moats during the merge *)
+  pair : int * int;  (** the terminals (v_i, w_i) whose moats merge *)
+  phase : int;  (** merge phase j(i) of Definition 4.3 *)
+  activity_changed : bool;  (** did some terminal's status flip after i? *)
+}
+
+type result = {
+  forest : bool array;  (** F_imax: all selected path edges (a forest) *)
+  solution : bool array;  (** minimal feasible subforest of [forest] *)
+  weight : int;  (** weight of [solution] *)
+  dual : Frac.t;  (** sum_i act_i mu_i — a certified lower bound on OPT *)
+  merges : merge_record list;  (** in execution order *)
+  phase_count : int;  (** j_max; at most 2k (Lemma 4.4) *)
+  final_rad : (int * Frac.t) list;  (** terminal -> final radius *)
+}
+
+val run : Dsf_graph.Instance.ic -> result
+(** Singleton input components are ignored (the instance is minimalized
+    first, as Lemma 2.4 allows).  Raises [Invalid_argument] if terminals of
+    one component are disconnected in the graph. *)

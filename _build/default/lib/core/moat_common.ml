@@ -1,0 +1,135 @@
+module Graph = Dsf_graph.Graph
+module Paths = Dsf_graph.Paths
+module Instance = Dsf_graph.Instance
+module Uf = Dsf_util.Union_find
+
+type state = {
+  graph : Graph.t;
+  terms : int array;
+  tdist : int array array;
+  moats : Uf.t;
+  rad : Frac.t array;
+  label_uf : Uf.t;
+  init_label : int array;
+  act : bool array;
+}
+
+let setup inst0 ~scale =
+  let inst = Instance.minimalize inst0 in
+  let g = inst.Instance.graph in
+  let terms = Array.of_list (Instance.terminals inst) in
+  let t = Array.length terms in
+  if t = 0 then None
+  else begin
+    let node_dist = Array.map (fun v -> fst (Paths.dijkstra g ~src:v)) terms in
+    let tdist =
+      Array.map
+        (fun row ->
+          Array.map
+            (fun w ->
+              if row.(w) = max_int then
+                invalid_arg "Moat: terminals of a component disconnected"
+              else row.(w) * scale)
+            terms)
+        node_dist
+    in
+    let labels = Array.map (fun v -> inst.Instance.labels.(v)) terms in
+    let max_label = Array.fold_left max 0 labels in
+    Some
+      {
+        graph = g;
+        terms;
+        tdist;
+        moats = Uf.create t;
+        rad = Array.make t Frac.zero;
+        label_uf = Uf.create (max_label + 1);
+        init_label = labels;
+        act = Array.make t true;
+      }
+  end
+
+let label_of st ti = Uf.find st.label_uf st.init_label.(ti)
+
+let moat_active st ti = st.act.(Uf.find st.moats ti)
+
+let is_lone_label st ti =
+  let rep = Uf.find st.moats ti in
+  let lbl = label_of st ti in
+  let lone = ref true in
+  Array.iteri
+    (fun tj _ ->
+      if Uf.find st.moats tj <> rep && label_of st tj = lbl then lone := false)
+    st.terms;
+  !lone
+
+let count_active_moats st =
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun ti _ ->
+      let rep = Uf.find st.moats ti in
+      if st.act.(rep) && not (Hashtbl.mem seen rep) then Hashtbl.add seen rep ())
+    st.terms;
+  Hashtbl.length seen
+
+let exists_active st =
+  let found = ref false in
+  Array.iteri
+    (fun ti _ -> if st.act.(Uf.find st.moats ti) then found := true)
+    st.terms;
+  !found
+
+let grow_active st mu =
+  Array.iteri
+    (fun ti _ ->
+      if moat_active st ti then st.rad.(ti) <- Frac.add st.rad.(ti) mu)
+    st.terms
+
+type event = { mu : Frac.t; vi : int; wi : int }
+
+let next_event st =
+  let best = ref None in
+  let t = Array.length st.terms in
+  for i = 0 to t - 1 do
+    for j = i + 1 to t - 1 do
+      if not (Uf.same st.moats i j) then begin
+        let ai = moat_active st i and aj = moat_active st j in
+        if ai || aj then begin
+          let slack =
+            Frac.sub
+              (Frac.of_int st.tdist.(i).(j))
+              (Frac.add st.rad.(i) st.rad.(j))
+          in
+          let mu = if ai && aj then Frac.half slack else slack in
+          assert (Frac.sign mu >= 0);
+          let better =
+            match !best with
+            | None -> true
+            | Some b ->
+                let c = Frac.compare mu b.mu in
+                c < 0 || (c = 0 && (i, j) < (b.vi, b.wi))
+          in
+          if better then best := Some { mu; vi = i; wi = j }
+        end
+      end
+    done
+  done;
+  !best
+
+let add_path g forest uf_nodes ~src ~dst =
+  match Paths.shortest_path g ~src ~dst with
+  | None -> invalid_arg "Moat: terminals disconnected"
+  | Some (nodes, _) ->
+      List.iter
+        (fun eid ->
+          let u, v = Graph.endpoints g eid in
+          if Uf.union uf_nodes u v then forest.(eid) <- true)
+        (Paths.path_edges g nodes)
+
+let merge_moats st ~forest ~uf_nodes ev =
+  add_path st.graph forest uf_nodes ~src:st.terms.(ev.vi) ~dst:st.terms.(ev.wi);
+  let lv = label_of st ev.vi and lw = label_of st ev.wi in
+  ignore (Uf.union st.moats ev.vi ev.wi);
+  if lv <> lw then ignore (Uf.union st.label_uf lv lw)
+
+let snapshot_activity st =
+  Array.init (Array.length st.terms) (fun ti -> moat_active st ti)

@@ -1,0 +1,46 @@
+(** Shared machinery of the centralized moat-growing algorithms
+    (Algorithms 1 and 2): terminal indexing, exact radii, moat and label
+    union-find, event computation, and path selection.  Internal to
+    [dsf_core]; the public entry points are {!Moat} and {!Moat_rounded}. *)
+
+type state = {
+  graph : Dsf_graph.Graph.t;
+  terms : int array;  (** terminal index -> node id *)
+  tdist : int array array;
+      (** terminal-terminal weighted distances (possibly pre-scaled) *)
+  moats : Dsf_util.Union_find.t;  (** over terminal indices *)
+  rad : Frac.t array;  (** per-terminal radius, exact *)
+  label_uf : Dsf_util.Union_find.t;  (** label merging (Alg 1 l.24-27) *)
+  init_label : int array;
+  act : bool array;  (** per-moat, indexed by representative *)
+}
+
+val setup : Dsf_graph.Instance.ic -> scale:int -> state option
+(** [None] if the (minimalized) instance has no terminals.  Raises
+    [Invalid_argument] if some component's terminals are disconnected.
+    [scale] multiplies all distances (used by Algorithm 2's integer
+    thresholds). *)
+
+val label_of : state -> int -> int
+val moat_active : state -> int -> bool
+val is_lone_label : state -> int -> bool
+val count_active_moats : state -> int
+val exists_active : state -> bool
+val grow_active : state -> Frac.t -> unit
+
+type event = { mu : Frac.t; vi : int; wi : int }
+(** [vi], [wi] are terminal indices; [mu] the growth until their moats
+    touch. *)
+
+val next_event : state -> event option
+(** Minimal next touching event over moat pairs in distinct moats with at
+    least one active side; ties broken by the terminal-index pair.  [None]
+    when no such pair exists. *)
+
+val merge_moats :
+  state -> forest:bool array -> uf_nodes:Dsf_util.Union_find.t -> event -> unit
+(** Adds a least-weight path between the event's terminals to [forest]
+    (skipping cycle-closing edges), merges the moats, and merges labels.
+    Does NOT update activity — the two algorithms differ there. *)
+
+val snapshot_activity : state -> bool array

@@ -1,0 +1,130 @@
+module Graph = Dsf_graph.Graph
+module Instance = Dsf_graph.Instance
+module Uf = Dsf_util.Union_find
+module C = Moat_common
+
+type result = {
+  forest : bool array;
+  solution : bool array;
+  weight : int;
+  dual : Frac.t;
+  dual_unscaled : float;
+  scale : int;
+  growth_phases : int;
+  merge_phases : int;
+  merge_count : int;
+  merge_pairs : (int * int) list;
+}
+
+(* Integer threshold schedule.  With all distances scaled by
+   [scale >= 8 * eps_den / eps_num], starting at µ̂ = ceil(scale / 2) and
+   stepping to max(µ̂ + 1, floor(µ̂ * (1 + ε/2))) keeps every step within
+   growth factor (1, 1 + ε/2]: the + 1 fallback is only ever needed while
+   µ̂ * ε/2 < 2, which the scaling rules out. *)
+let next_threshold ~eps_num ~eps_den mu_hat =
+  let exact = mu_hat * ((2 * eps_den) + eps_num) / (2 * eps_den) in
+  max (mu_hat + 1) exact
+
+let run ~eps_num ~eps_den inst0 =
+  if eps_num <= 0 || eps_den <= 0 || eps_num > eps_den then
+    invalid_arg "Moat_rounded.run: need 0 < eps <= 1";
+  let inst = Instance.minimalize inst0 in
+  let g = inst.Instance.graph in
+  let m = Graph.m g in
+  let scale = ((8 * eps_den) + eps_num - 1) / eps_num in
+  match C.setup inst ~scale with
+  | None ->
+      {
+        forest = Array.make m false;
+        solution = Array.make m false;
+        weight = 0;
+        dual = Frac.zero;
+        dual_unscaled = 0.;
+        scale;
+        growth_phases = 0;
+        merge_phases = 0;
+        merge_count = 0;
+        merge_pairs = [];
+      }
+  | Some st ->
+      let forest = Array.make m false in
+      let uf_nodes = Uf.create (Graph.n g) in
+      let dual = ref Frac.zero in
+      let total_growth = ref Frac.zero in
+      let mu_hat = ref ((scale + 1) / 2) in
+      let growth_phases = ref 0 in
+      let merge_phases = ref 0 in
+      let merge_count = ref 0 in
+      let merge_pairs = ref [] in
+      let recompute_activity () =
+        (* Lines 20-25: every moat's status is recomputed; a moat is
+           satisfied (inactive) iff it is the only one with its label. *)
+        let seen = Hashtbl.create 16 in
+        Array.iteri
+          (fun ti _ ->
+            let rep = Uf.find st.C.moats ti in
+            if not (Hashtbl.mem seen rep) then begin
+              Hashtbl.add seen rep ();
+              st.C.act.(rep) <- not (C.is_lone_label st ti)
+            end)
+          st.C.terms
+      in
+      let continue = ref (C.exists_active st) in
+      while !continue do
+        let ev = C.next_event st in
+        let event_mu = match ev with Some e -> Some e.C.mu | None -> None in
+        let hits_threshold =
+          match event_mu with
+          | None -> true
+          | Some mu ->
+              Frac.compare
+                (Frac.add !total_growth mu)
+                (Frac.of_int !mu_hat)
+              >= 0
+        in
+        let act_count = C.count_active_moats st in
+        if hits_threshold then begin
+          (* Checkpoint: grow exactly to µ̂, no merge, refresh activity. *)
+          let mu = Frac.sub (Frac.of_int !mu_hat) !total_growth in
+          assert (Frac.sign mu >= 0);
+          dual := Frac.add !dual (Frac.mul_int mu act_count);
+          C.grow_active st mu;
+          total_growth := Frac.of_int !mu_hat;
+          recompute_activity ();
+          mu_hat := next_threshold ~eps_num ~eps_den !mu_hat;
+          incr growth_phases;
+          incr merge_phases
+        end
+        else begin
+          match ev with
+          | None -> assert false
+          | Some e ->
+              dual := Frac.add !dual (Frac.mul_int e.C.mu act_count);
+              C.grow_active st e.C.mu;
+              total_growth := Frac.add !total_growth e.C.mu;
+              let inactive_involved =
+                (not (C.moat_active st e.C.vi)) || not (C.moat_active st e.C.wi)
+              in
+              C.merge_moats st ~forest ~uf_nodes e;
+              (* Line 33: the merged moat is always (re)activated. *)
+              let rep = Uf.find st.C.moats e.C.vi in
+              st.C.act.(rep) <- true;
+              incr merge_count;
+              merge_pairs := (st.C.terms.(e.C.vi), st.C.terms.(e.C.wi)) :: !merge_pairs;
+              if inactive_involved then incr merge_phases
+        end;
+        continue := C.exists_active st
+      done;
+      let solution = Instance.prune inst forest in
+      {
+        forest;
+        solution;
+        weight = Instance.solution_weight inst solution;
+        dual = !dual;
+        dual_unscaled = Frac.to_float !dual /. float_of_int scale;
+        scale;
+        growth_phases = !growth_phases;
+        merge_phases = !merge_phases;
+        merge_count = !merge_count;
+        merge_pairs = List.rev !merge_pairs;
+      }

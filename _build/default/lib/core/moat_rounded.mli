@@ -1,0 +1,40 @@
+(** Centralized moat-growing with rounded radii (Algorithm 2) — the
+    (2 + ε)-approximation variant whose merges are deferred to geometric
+    checkpoints µ̂, (1+ε/2)µ̂, (1+ε/2)²µ̂, ...
+
+    Between checkpoints the algorithm behaves like Algorithm 1 except that a
+    freshly merged moat always stays active; activity statuses are
+    recomputed only when total growth reaches the current threshold µ̂
+    (Algorithm 2, lines 16-26).  This bounds the number of distinct radii at
+    which merges happen by O(log n / ε) (Lemma F.1), which is what makes the
+    sublinear-time distributed emulation possible.
+
+    ε is a positive rational [eps_num / eps_den].  Internally all distances
+    are scaled by an integer factor so that every threshold is an integer
+    while the growth factor stays within (1, 1 + ε/2]; the approximation
+    guarantee (Theorem 4.2) is preserved. *)
+
+type result = {
+  forest : bool array;
+  solution : bool array;
+  weight : int;
+  dual : Frac.t;  (** sum act_i µ_i in SCALED units *)
+  dual_unscaled : float;  (** dual / scale, comparable to weights *)
+  scale : int;
+  growth_phases : int;  (** g_max: number of checkpoint events *)
+  merge_phases : int;  (** Definition 4.19 merge phases *)
+  merge_count : int;
+  merge_pairs : (int * int) list;
+      (** terminal node-id pairs merged, in execution order — used by tests
+          to check the distributed emulation follows the same schedule *)
+}
+
+val next_threshold : eps_num:int -> eps_den:int -> int -> int
+(** The integer checkpoint schedule (exposed for the distributed emulation
+    in {!Det_sublinear}): growth factor within (1, 1 + ε/2] given the
+    internal weight scaling. *)
+
+val run :
+  eps_num:int -> eps_den:int -> Dsf_graph.Instance.ic -> result
+(** Requires [0 < eps_num] and [eps_num <= eps_den] (i.e. 0 < ε <= 1;
+    larger ε gives no benefit over Algorithm 1). *)

@@ -1,0 +1,42 @@
+(** The randomized distributed Steiner Forest algorithm (Section 5,
+    Theorem 5.2): an O(log n)-approximation in O~(k + min(s, sqrt n) + D)
+    rounds w.h.p.
+
+    First stage: embed the graph into a random virtual tree (Khan et al.,
+    via {!Dsf_embed}); then, in L + 1 level phases, component labels climb
+    the tree — every holder of a live label sends (label, ancestor_i) up its
+    recorded shortest path, messages are filtered so only the first one per
+    (label, target) survives, traversed edges enter F, and each target
+    concentrates its labels at a single representative found by backtracing
+    (steps 3a-3d).  When s > sqrt n the ancestor chains are truncated at
+    S = the sqrt n highest-ranked nodes, and each leaf connects to its
+    closest S node instead.
+
+    Second stage (only when truncating): the connected components of (V, F)
+    around S become super-terminals of the F-reduced instance
+    (Definition 5.1), which is solved by {!Reduced_solver} — our stand-in
+    for the paper's [17] black box (see DESIGN.md) — and the returned edges
+    join F.
+
+    The first stage runs [repetitions] times and the lightest F wins (the
+    paper's expectation-to-w.h.p. amplification). *)
+
+type result = {
+  solution : bool array;
+  weight : int;
+  ledger : Dsf_congest.Ledger.t;
+  truncated : bool;  (** did the s > sqrt(n) regime apply? *)
+  repetitions : int;
+  s_param : int;  (** shortest-path diameter used for the regime choice *)
+  phases : int;  (** virtual-tree levels walked per repetition *)
+}
+
+val run :
+  ?repetitions:int ->
+  ?force_truncate:bool ->
+  rng:Dsf_util.Rng.t ->
+  Dsf_graph.Instance.ic ->
+  result
+(** [repetitions] defaults to 3.  [force_truncate] overrides the
+    s-vs-sqrt(n) regime test (used by experiments to exercise both code
+    paths on the same instance). *)

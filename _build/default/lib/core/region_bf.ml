@@ -1,0 +1,117 @@
+module Graph = Dsf_graph.Graph
+module Sim = Dsf_congest.Sim
+module Bitsize = Dsf_util.Bitsize
+
+type node_result = {
+  owner : int;
+  offset : Frac.t;
+  parent : int;
+}
+
+type state = {
+  dist : Frac.t;
+  owner : int;
+  parent : int;
+  hops : int;
+  dirty : bool;
+}
+
+type msg = Relax of { dist : Frac.t; owner : int; hops : int }
+
+let better (d1, o1, h1) (d2, o2, h2) =
+  let c = Frac.compare d1 d2 in
+  c < 0 || (c = 0 && (o1, h1) < (o2, h2))
+
+let run g ~sources ~frozen =
+  let n = Graph.n g in
+  let init = Hashtbl.create (List.length sources) in
+  List.iter
+    (fun (v, off, owner) ->
+      match Hashtbl.find_opt init v with
+      | Some (o, ow) when better (o, ow, 0) (off, owner, 0) -> ()
+      | _ -> Hashtbl.replace init v (off, owner))
+    sources;
+  let unreached = Frac.of_int max_int in
+  (* Sources are pinned: a node already covered by an active moat keeps its
+     owner and offset (Definition 4.7 freezes Reg_{j-1}(v)); it announces its
+     label once and ignores relaxations. *)
+  let pinned v = Hashtbl.mem init v in
+  let proto : (state, msg) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          let v = view.Sim.node in
+          match Hashtbl.find_opt init v with
+          | Some (off, owner) when not frozen.(v) ->
+              { dist = off; owner; parent = -1; hops = 0; dirty = true }
+          | _ ->
+              { dist = unreached; owner = -1; parent = -1; hops = max_int; dirty = false });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          if frozen.(v) then st, []
+          else if pinned v then begin
+            if st.dirty then begin
+              let outbox =
+                Array.to_list view.Sim.nbrs
+                |> List.filter_map (fun (nb, _, _) ->
+                       if frozen.(nb) then None
+                       else
+                         Some
+                           ( nb,
+                             Relax { dist = st.dist; owner = st.owner; hops = st.hops } ))
+              in
+              { st with dirty = false }, outbox
+            end
+            else st, []
+          end
+          else begin
+            let st =
+              List.fold_left
+                (fun st (sender, Relax r) ->
+                  let w = ref (-1) in
+                  Array.iter
+                    (fun (nb, wt, _) -> if nb = sender then w := wt)
+                    view.Sim.nbrs;
+                  assert (!w >= 0);
+                  let nd = Frac.add r.dist (Frac.of_int !w) in
+                  let nh = r.hops + 1 in
+                  (* An unreached node (owner < 0) adopts any label; the
+                     sentinel distance is never compared (it would overflow
+                     the dyadic lift). *)
+                  if
+                    st.owner < 0
+                    || better (nd, r.owner, nh) (st.dist, st.owner, st.hops)
+                  then
+                    { dist = nd; owner = r.owner; parent = sender; hops = nh; dirty = true }
+                  else st)
+                st inbox
+            in
+            if st.dirty && st.owner >= 0 then begin
+              let outbox =
+                Array.to_list view.Sim.nbrs
+                |> List.filter_map (fun (nb, _, _) ->
+                       if frozen.(nb) then None
+                       else Some (nb, Relax { dist = st.dist; owner = st.owner; hops = st.hops }))
+              in
+              { st with dirty = false }, outbox
+            end
+            else { st with dirty = false }, []
+          end);
+      is_done = (fun st -> not st.dirty);
+      msg_bits =
+        (fun (Relax r) ->
+          Bitsize.int_bits (abs r.dist.Frac.num)
+          + Bitsize.int_bits (max 1 r.dist.Frac.den_pow)
+          + Bitsize.id_bits ~n
+          + Bitsize.int_bits (max 1 r.hops));
+    }
+  in
+  let states, stats = Sim.run g proto in
+  ( Array.map
+      (fun st ->
+        if st.owner >= 0 then
+          { owner = st.owner; offset = st.dist; parent = st.parent }
+        else { owner = -1; offset = unreached; parent = -1 })
+      states,
+    stats )

@@ -1,0 +1,38 @@
+module Graph = Dsf_graph.Graph
+module Sim = Dsf_congest.Sim
+
+type state = {
+  pending : bool;
+  forwarded : bool;
+  marked : int list;
+}
+
+let token_flood g ~parent ~seeds =
+  let proto : (state, unit) Sim.protocol =
+    {
+      init =
+        (fun view ->
+          { pending = seeds.(view.Sim.node); forwarded = false; marked = [] });
+      step =
+        (fun view ~round:_ st ~inbox ->
+          let v = view.Sim.node in
+          let st = if inbox <> [] then { st with pending = true } else st in
+          if st.pending && (not st.forwarded) && parent.(v) >= 0 then begin
+            let eid =
+              match Graph.find_edge g v parent.(v) with
+              | Some id -> id
+              | None -> invalid_arg "Select.token_flood: parent not adjacent"
+            in
+            ( { st with forwarded = true; marked = eid :: st.marked },
+              [ parent.(v), () ] )
+          end
+          else { st with forwarded = st.forwarded || st.pending }, []);
+      is_done = (fun st -> (not st.pending) || st.forwarded);
+      msg_bits = (fun () -> 1);
+    }
+  in
+  let states, stats = Sim.run g proto in
+  let edges =
+    Array.fold_left (fun acc st -> List.rev_append st.marked acc) [] states
+  in
+  edges, stats

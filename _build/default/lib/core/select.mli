@@ -1,0 +1,16 @@
+(** Path-edge selection by token flood (Step 5 of the Appendix E.1
+    algorithm, shared by the deterministic algorithms).
+
+    Endpoints of the chosen inducing edges send a token up their frozen
+    region-tree parent chain; each node forwards only its first token, and
+    every traversed tree edge is selected.  The union over all tokens is
+    exactly the union of the merge paths' tree segments. *)
+
+val token_flood :
+  Dsf_graph.Graph.t ->
+  parent:int array ->
+  seeds:bool array ->
+  int list * Dsf_congest.Sim.stats
+(** Returns the selected edge ids and the simulation stats.  [parent.(v)]
+    is the frozen region-tree parent (-1 at region roots); [seeds] marks
+    the nodes that start with a token. *)

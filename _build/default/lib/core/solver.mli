@@ -1,0 +1,54 @@
+(** Unified front end over every Steiner Forest algorithm in the
+    repository.  A downstream user picks an {!algorithm} and gets back a
+    uniform {!report} (solution, weight, rounds, optional optimality
+    certificate) for either input convention — input components (DSF-IC)
+    or connection requests (DSF-CR, transformed via Lemma 2.3 first, with
+    the transform's rounds included in the report). *)
+
+type algorithm =
+  | Det  (** Section 4.1: deterministic, factor 2, O(ks + t) rounds *)
+  | Det_sublinear of { eps_num : int; eps_den : int }
+      (** Section 4.2: deterministic, factor 2 + ε, O~(sk + σ) rounds *)
+  | Rand of { repetitions : int; seed : int }
+      (** Section 5: randomized, O(log n) w.h.p., O~(k + min(s,√n) + D) *)
+  | Khan_baseline of { repetitions : int; seed : int }
+      (** prior art [14]: randomized, O(log n), O~(sk) rounds *)
+  | Centralized_moat
+      (** Algorithm 1 run centrally — the reference, no round accounting *)
+
+val name : algorithm -> string
+
+type report = {
+  algorithm : string;
+  solution : bool array;
+  weight : int;
+  feasible : bool;
+  rounds_simulated : int;
+  rounds_charged : int;
+  dual_lower_bound : float option;
+      (** Σ act·µ when the algorithm certifies itself (moat growing) *)
+  ledger : Dsf_congest.Ledger.t option;
+}
+
+val solve_ic : algorithm -> Dsf_graph.Instance.ic -> report
+
+val solve_cr : algorithm -> Dsf_graph.Instance.cr -> report
+(** Applies the distributed Lemma 2.3 transform first; its rounds are
+    added to the report (and its ledger entry when a ledger exists). *)
+
+val compare_all :
+  ?algorithms:algorithm list ->
+  Dsf_graph.Instance.ic ->
+  report list
+(** Run several algorithms on one instance (default: Det, Det_sublinear
+    ε=1/2, Rand, Khan) and return their reports, best weight first. *)
+
+(**/**)
+
+val khan_hook :
+  (repetitions:int -> rng:Dsf_util.Rng.t -> Dsf_graph.Instance.ic ->
+   bool array * int * Dsf_congest.Ledger.t)
+  ref
+(** Injection point for the Khan et al. baseline (set by [Dsf_baseline];
+    avoids a dependency cycle).  Using {!Khan_baseline} requires linking
+    and referencing [dsf_baseline]. *)

@@ -1,0 +1,23 @@
+(** Distributed instance transformations (Lemmas 2.3 and 2.4).
+
+    [cr_to_ic] turns connection requests into equivalent input components in
+    O(D + t) rounds: requests are convergecast with forest filtering (at
+    most t - 1 survive), broadcast, and every node locally labels the
+    connected components of the request graph.
+
+    [minimalize] turns a DSF-IC instance into an equivalent minimal one
+    (every surviving component has >= 2 terminals) in O(D + k) rounds: each
+    label's first two witnesses are convergecast, the root broadcasts the
+    set of non-singleton labels, and singleton terminals drop out. *)
+
+type 'a outcome = {
+  value : 'a;
+  rounds : int;  (** simulated rounds *)
+  messages : int;
+}
+
+val cr_to_ic : Dsf_graph.Instance.cr -> Dsf_graph.Instance.ic outcome
+(** The resulting labels are the smallest terminal id in each request
+    component, matching the construction in the proof of Lemma 2.3. *)
+
+val minimalize : Dsf_graph.Instance.ic -> Dsf_graph.Instance.ic outcome

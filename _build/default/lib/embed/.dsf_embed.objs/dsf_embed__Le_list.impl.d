@@ -1,0 +1,1 @@
+lib/embed/le_list.ml: Array Dsf_congest Dsf_graph Dsf_util Fun Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/embed/le_list.mli: Dsf_congest Dsf_graph Dsf_util

@@ -1,0 +1,1 @@
+lib/embed/virtual_tree.ml: Array Dsf_congest Dsf_graph Dsf_util Fun Hashtbl Le_list List

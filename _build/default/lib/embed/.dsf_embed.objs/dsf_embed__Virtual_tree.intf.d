@@ -1,0 +1,1 @@
+lib/embed/virtual_tree.mli: Dsf_graph Dsf_util Le_list

@@ -1,0 +1,1 @@
+lib/graph/exact.ml: Array Graph Instance List Paths

@@ -1,0 +1,1 @@
+lib/graph/exact.mli: Graph Instance

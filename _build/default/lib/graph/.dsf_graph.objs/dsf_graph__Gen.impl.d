@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Dsf_util Graph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/graph/gen.mli: Dsf_util Graph

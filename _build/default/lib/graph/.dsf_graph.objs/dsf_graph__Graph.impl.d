@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Dsf_util Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/instance.ml: Array Dsf_util Graph Hashtbl List Option Stack

@@ -1,0 +1,1 @@
+lib/graph/io.ml: Array Buffer Format Fun Graph Instance List Printf String

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Dsf_util Graph

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Dsf_util Graph List Queue

@@ -1,0 +1,43 @@
+let palette =
+  [| "lightblue"; "lightcoral"; "palegreen"; "gold"; "plum"; "orange";
+     "cyan"; "pink"; "yellowgreen"; "tan" |]
+
+let graph ppf g =
+  Format.fprintf ppf "@[<v>graph G {@,  node [shape=circle];@,";
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Format.fprintf ppf "  %d -- %d [label=\"%d\"];@," e.u e.v e.w)
+    (Graph.edges g);
+  Format.fprintf ppf "}@]@."
+
+let instance ?solution ppf (inst : Instance.ic) =
+  let g = inst.Instance.graph in
+  Format.fprintf ppf "@[<v>graph G {@,  node [shape=circle];@,";
+  Array.iteri
+    (fun v l ->
+      if l >= 0 then
+        Format.fprintf ppf
+          "  %d [shape=box style=filled fillcolor=%s label=\"%d:%d\"];@," v
+          palette.(l mod Array.length palette)
+          v l)
+    inst.Instance.labels;
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let in_solution =
+        match solution with Some f -> f.(e.id) | None -> false
+      in
+      if in_solution then
+        Format.fprintf ppf
+          "  %d -- %d [label=\"%d\" penwidth=3 color=red];@," e.u e.v e.w
+      else Format.fprintf ppf "  %d -- %d [label=\"%d\"];@," e.u e.v e.w)
+    (Graph.edges g);
+  Format.fprintf ppf "}@]@."
+
+let to_file path pp x =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush ppf ();
+      close_out oc)
+    (fun () -> pp ppf x)

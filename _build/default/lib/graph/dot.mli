@@ -1,0 +1,13 @@
+(** Graphviz DOT export for graphs, instances and solutions — handy for
+    inspecting small instances and for the examples' output. *)
+
+val graph : Format.formatter -> Graph.t -> unit
+(** Plain weighted graph. *)
+
+val instance :
+  ?solution:bool array -> Format.formatter -> Instance.ic -> unit
+(** Terminals are drawn as filled boxes colored per input component;
+    solution edges (if given) are bold. *)
+
+val to_file : string -> (Format.formatter -> 'a -> unit) -> 'a -> unit
+(** [to_file path pp x] writes [pp x] to [path]. *)

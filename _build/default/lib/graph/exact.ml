@@ -1,0 +1,96 @@
+let inf = max_int / 4
+
+(* Dreyfus-Wagner over the metric closure.  dp.(mask).(v) is the minimum
+   weight of a tree spanning {terminals in mask} + {v}. *)
+let steiner_tree_weight g terminals =
+  let terms = List.sort_uniq compare terminals in
+  let q = List.length terms in
+  if q <= 1 then 0
+  else begin
+    if q > 16 then invalid_arg "Exact.steiner_tree_weight: too many terminals";
+    let n = Graph.n g in
+    let term = Array.of_list terms in
+    let dist = Array.map (fun src -> fst (Paths.dijkstra g ~src)) term in
+    (* dist.(i).(v): distance from terminal i to node v. *)
+    let full = (1 lsl q) - 1 in
+    let dp = Array.make_matrix (full + 1) n inf in
+    for i = 0 to q - 1 do
+      for v = 0 to n - 1 do
+        if dist.(i).(v) < inf then dp.(1 lsl i).(v) <- dist.(i).(v)
+      done
+    done;
+    (* Node-to-node distances for the relaxation step. *)
+    let apsp = Paths.all_pairs g in
+    for mask = 1 to full do
+      if mask land (mask - 1) <> 0 then begin
+        (* Combine: dp.(mask).(v) <- min over proper submasks. *)
+        for v = 0 to n - 1 do
+          let sub = ref ((mask - 1) land mask) in
+          let best = ref dp.(mask).(v) in
+          while !sub > 0 do
+            (* Only consider submasks containing the lowest set bit of mask,
+               to halve the work (the complement covers the rest). *)
+            if !sub land (mask land -mask) <> 0 then begin
+              let a = dp.(!sub).(v) and b = dp.(mask lxor !sub).(v) in
+              if a < inf && b < inf && a + b < !best then best := a + b
+            end;
+            sub := (!sub - 1) land mask
+          done;
+          dp.(mask).(v) <- !best
+        done;
+        (* Relax: dp.(mask).(v) <- min_u dp.(mask).(u) + d(u, v).  With the
+           metric closure a single pass over all (u, v) pairs suffices. *)
+        for v = 0 to n - 1 do
+          let best = ref dp.(mask).(v) in
+          for u = 0 to n - 1 do
+            let du = dp.(mask).(u) in
+            if du < inf && apsp.(u).(v) < inf && du + apsp.(u).(v) < !best then
+              best := du + apsp.(u).(v)
+          done;
+          dp.(mask).(v) <- !best
+        done
+      end
+    done;
+    let answer = dp.(full).(term.(0)) in
+    if answer >= inf then invalid_arg "Exact.steiner_tree_weight: disconnected";
+    answer
+  end
+
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let sub = partitions rest in
+      List.concat_map
+        (fun p ->
+          (* x as its own block, or x joined to each existing block *)
+          ([ x ] :: p)
+          :: List.mapi
+               (fun i _ ->
+                 List.mapi (fun j b -> if i = j then x :: b else b) p)
+               p)
+        sub
+
+let steiner_forest_weight inst =
+  let comps =
+    Instance.components inst |> List.filter (fun (_, vs) -> List.length vs >= 2)
+  in
+  match comps with
+  | [] -> 0
+  | _ ->
+      let best = ref inf in
+      List.iter
+        (fun partition ->
+          let cost =
+            List.fold_left
+              (fun acc block ->
+                if acc >= inf then inf
+                else begin
+                  let terms = List.concat_map snd block in
+                  let w = steiner_tree_weight inst.Instance.graph terms in
+                  acc + w
+                end)
+              0 partition
+          in
+          if cost < !best then best := cost)
+        (partitions comps);
+      !best

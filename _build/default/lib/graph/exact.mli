@@ -1,0 +1,23 @@
+(** Exact optima for small instances — the ground-truth oracle for the
+    approximation-ratio experiments.
+
+    The paper proves worst-case ratios (2, 2+ε, O(log n)); to measure the
+    ratios our implementations actually achieve we need OPT.  Steiner Tree is
+    solved with the Dreyfus-Wagner dynamic program (exponential in the number
+    of terminals); Steiner Forest reduces to it by enumerating set partitions
+    of the input components (the trees of an optimal forest partition the
+    components) and summing per-block Steiner-tree optima. *)
+
+val steiner_tree_weight : Graph.t -> int list -> int
+(** [steiner_tree_weight g terminals]: weight of a minimum-weight connected
+    subgraph spanning the terminals.  Exponential in
+    [List.length terminals]; raises [Invalid_argument] beyond 16 terminals.
+    Returns 0 for fewer than 2 terminals. *)
+
+val steiner_forest_weight : Instance.ic -> int
+(** Exact optimum of a DSF-IC instance.  Enumerates set partitions of the
+    (non-singleton) input components; practical for k <= 6 and at most ~14
+    terminals overall. *)
+
+val partitions : 'a list -> 'a list list list
+(** All set partitions of a list (Bell-number many) — exposed for tests. *)

@@ -1,0 +1,292 @@
+module Rng = Dsf_util.Rng
+
+let path n =
+  Graph.unweighted ~n (List.init (n - 1) (fun i -> i, i + 1))
+
+let cycle n =
+  assert (n >= 3);
+  Graph.unweighted ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> i, i + 1))
+
+let star n =
+  assert (n >= 2);
+  Graph.unweighted ~n (List.init (n - 1) (fun i -> 0, i + 1))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.unweighted ~n !edges
+
+let grid ~rows ~cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.unweighted ~n:(rows * cols) !edges
+
+let binary_tree n =
+  assert (n >= 2);
+  Graph.unweighted ~n (List.init (n - 1) (fun i -> (i + 1 - 1) / 2, i + 1))
+
+let reweight rng ~max_w g =
+  let triples =
+    Array.to_list (Graph.edges g)
+    |> List.map (fun (e : Graph.edge) -> e.u, e.v, Rng.int_in rng 1 max_w)
+  in
+  Graph.make ~n:(Graph.n g) triples
+
+let random_connected rng ~n ~extra_edges ~max_w =
+  assert (n >= 2);
+  (* Random spanning tree by uniform attachment over a random node order. *)
+  let order = Rng.permutation rng n in
+  let edges = Hashtbl.create (n + extra_edges) in
+  let add u v =
+    let key = min u v, max u v in
+    if u <> v && not (Hashtbl.mem edges key) then begin
+      Hashtbl.add edges key ();
+      true
+    end
+    else false
+  in
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    ignore (add order.(i) order.(j))
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 50 * (extra_edges + 1) in
+  while !added < extra_edges && !attempts < max_attempts do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if add u v then incr added
+  done;
+  let triples =
+    Hashtbl.fold (fun (u, v) () acc -> (u, v, Rng.int_in rng 1 max_w) :: acc)
+      edges []
+  in
+  Graph.make ~n triples
+
+let clustered rng ~clusters ~cluster_size ~intra_extra ~bridges ~intra_w
+    ~bridge_w =
+  assert (clusters >= 1 && cluster_size >= 2);
+  let n = clusters * cluster_size in
+  let seen = Hashtbl.create (4 * n) in
+  let edges = ref [] in
+  let add u v w =
+    let key = min u v, max u v in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v, w) :: !edges;
+      true
+    end
+    else false
+  in
+  for c = 0 to clusters - 1 do
+    let base = c * cluster_size in
+    (* Spanning tree inside the cluster. *)
+    let order = Rng.permutation rng cluster_size in
+    for i = 1 to cluster_size - 1 do
+      let j = Rng.int rng i in
+      ignore
+        (add (base + order.(i)) (base + order.(j)) (Rng.int_in rng 1 intra_w))
+    done;
+    let added = ref 0 and attempts = ref 0 in
+    while !added < intra_extra && !attempts < 50 * (intra_extra + 1) do
+      incr attempts;
+      let u = base + Rng.int rng cluster_size
+      and v = base + Rng.int rng cluster_size in
+      if add u v (Rng.int_in rng 1 intra_w) then incr added
+    done;
+    (* Bridges to the next cluster. *)
+    if c + 1 < clusters then begin
+      let next = (c + 1) * cluster_size in
+      let added = ref 0 and attempts = ref 0 in
+      while !added < bridges && !attempts < 50 * (bridges + 1) do
+        incr attempts;
+        let u = base + Rng.int rng cluster_size
+        and v = next + Rng.int rng cluster_size in
+        if add u v (Rng.int_in rng (max 1 (bridge_w / 2)) bridge_w) then
+          incr added
+      done;
+      (* Guarantee connectivity even if the random bridges collided. *)
+      if !added = 0 then ignore (add base next bridge_w)
+    end
+  done;
+  Graph.make ~n !edges
+
+let random_geometric rng ~n ~radius ~max_w =
+  assert (n >= 2);
+  let pts = Array.init n (fun _ -> Rng.float rng 1.0, Rng.float rng 1.0) in
+  let dist i j =
+    let xi, yi = pts.(i) and xj, yj = pts.(j) in
+    sqrt (((xi -. xj) ** 2.) +. ((yi -. yj) ** 2.))
+  in
+  let scale = float_of_int max_w /. radius in
+  let weight_of d = max 1 (int_of_float (d *. scale)) in
+  let edges = Hashtbl.create (4 * n) in
+  let add i j =
+    let key = min i j, max i j in
+    if i <> j && not (Hashtbl.mem edges key) then
+      Hashtbl.add edges key (weight_of (dist i j))
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if dist i j <= radius then add i j
+    done
+  done;
+  (* Stitch components together via nearest cross-component pairs. *)
+  let uf = Dsf_util.Union_find.create n in
+  Hashtbl.iter (fun (i, j) _ -> ignore (Dsf_util.Union_find.union uf i j)) edges;
+  while Dsf_util.Union_find.n_sets uf > 1 do
+    let best = ref None in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if not (Dsf_util.Union_find.same uf i j) then begin
+          let d = dist i j in
+          match !best with
+          | Some (bd, _, _) when bd <= d -> ()
+          | _ -> best := Some (d, i, j)
+        end
+      done
+    done;
+    match !best with
+    | None -> assert false
+    | Some (_, i, j) ->
+        add i j;
+        ignore (Dsf_util.Union_find.union uf i j)
+  done;
+  let triples = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) edges [] in
+  Graph.make ~n triples
+
+let lollipop ~clique ~tail =
+  assert (clique >= 2);
+  let n = clique + tail in
+  let edges = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then clique - 1 else clique + i - 1 in
+    edges := (prev, clique + i) :: !edges
+  done;
+  Graph.unweighted ~n !edges
+
+let broom ~tail ~arm_lengths =
+  let hub = 0 in
+  let edges = ref [] in
+  let next = ref 1 in
+  (* Terminal-free tail. *)
+  let prev = ref hub in
+  for _ = 1 to tail do
+    edges := (!prev, !next, 1) :: !edges;
+    prev := !next;
+    incr next
+  done;
+  let terminal_pairs =
+    List.map
+      (fun l ->
+        assert (l >= 1);
+        let endpoint () =
+          let p = ref hub in
+          for _ = 1 to l do
+            edges := (!p, !next, 1) :: !edges;
+            p := !next;
+            incr next
+          done;
+          !p
+        in
+        let a = endpoint () in
+        let b = endpoint () in
+        a, b)
+      arm_lengths
+  in
+  let n = !next in
+  let labels = Array.make n (-1) in
+  List.iteri
+    (fun i (a, b) ->
+      labels.(a) <- i;
+      labels.(b) <- i)
+    terminal_pairs;
+  Graph.make ~n (List.rev !edges), labels
+
+let random_labels rng ~n ~t ~k =
+  assert (t <= n);
+  assert (k >= 1 && t >= 2 * k);
+  let terminals = Rng.sample_without_replacement rng t n in
+  let labels = Array.make n (-1) in
+  (* Give each component two terminals first, then distribute the rest. *)
+  Array.iteri
+    (fun i v ->
+      let lbl = if i < 2 * k then i mod k else Rng.int rng k in
+      labels.(v) <- lbl)
+    terminals;
+  labels
+
+let spread_labels rng g ~t ~k =
+  let n = Graph.n g in
+  assert (t <= n);
+  assert (k >= 1 && t >= 2 * k);
+  (* Grow k BFS regions from random seeds; each region hosts one component. *)
+  let seeds = Rng.sample_without_replacement rng k n in
+  let owner = Array.make n (-1) in
+  let q = Queue.create () in
+  Array.iteri
+    (fun i s ->
+      owner.(s) <- i;
+      Queue.add s q)
+    seeds;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (nb, _, _) ->
+        if owner.(nb) = -1 then begin
+          owner.(nb) <- owner.(v);
+          Queue.add nb q
+        end)
+      (Graph.adj g v)
+  done;
+  let regions = Array.make k [] in
+  for v = 0 to n - 1 do
+    if owner.(v) >= 0 then regions.(owner.(v)) <- v :: regions.(owner.(v))
+  done;
+  let labels = Array.make n (-1) in
+  let per = max 2 (t / k) in
+  let placed = ref 0 in
+  Array.iteri
+    (fun i members ->
+      let arr = Array.of_list members in
+      Rng.shuffle rng arr;
+      let want = min (Array.length arr) (if i = k - 1 then t - !placed else per) in
+      for j = 0 to want - 1 do
+        labels.(arr.(j)) <- i;
+        incr placed
+      done)
+    regions;
+  (* Regions can be tiny; ensure every component has >= 2 terminals by
+     borrowing unlabelled nodes anywhere in the graph. *)
+  let count = Array.make k 0 in
+  Array.iter (fun l -> if l >= 0 then count.(l) <- count.(l) + 1) labels;
+  let free = ref [] in
+  for v = n - 1 downto 0 do
+    if labels.(v) = -1 then free := v :: !free
+  done;
+  for lbl = 0 to k - 1 do
+    while count.(lbl) < 2 do
+      match !free with
+      | [] -> invalid_arg "Gen.spread_labels: not enough nodes"
+      | v :: rest ->
+          free := rest;
+          labels.(v) <- lbl;
+          count.(lbl) <- count.(lbl) + 1
+    done
+  done;
+  labels

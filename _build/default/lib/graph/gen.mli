@@ -1,0 +1,67 @@
+(** Graph and instance generators for tests, examples and experiments.
+
+    All randomized generators take an explicit {!Dsf_util.Rng.t} and are fully
+    reproducible.  Weighted variants draw integer weights uniformly from
+    [1, max_w]. *)
+
+val path : int -> Graph.t
+val cycle : int -> Graph.t
+val star : int -> Graph.t
+(** [star n]: node 0 is the hub, nodes 1..n-1 are leaves. *)
+
+val complete : int -> Graph.t
+val grid : rows:int -> cols:int -> Graph.t
+(** Node at (r, c) has id [r * cols + c]. *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary-tree shape on n nodes; node i's parent is (i-1)/2. *)
+
+val reweight : Dsf_util.Rng.t -> max_w:int -> Graph.t -> Graph.t
+(** Same topology, fresh uniform random weights in [1, max_w]. *)
+
+val random_connected : Dsf_util.Rng.t -> n:int -> extra_edges:int -> max_w:int -> Graph.t
+(** Random spanning tree (uniform attachment) plus [extra_edges] additional
+    distinct random edges; weights uniform in [1, max_w]. *)
+
+val clustered :
+  Dsf_util.Rng.t ->
+  clusters:int -> cluster_size:int -> intra_extra:int -> bridges:int ->
+  intra_w:int -> bridge_w:int -> Graph.t
+(** Community-structured network: [clusters] groups of [cluster_size]
+    nodes, each internally connected (random spanning tree plus
+    [intra_extra] extra edges, weights in [1, intra_w]); consecutive
+    clusters are linked by [bridges] random inter-cluster edges with
+    weights in [1, bridge_w].  Cheap local traffic, expensive backbone —
+    the regime where Steiner Forest sharing matters. *)
+
+val random_geometric : Dsf_util.Rng.t -> n:int -> radius:float -> max_w:int -> Graph.t
+(** Nodes at uniform random points in the unit square; edges between points
+    within [radius], weight = rounded scaled Euclidean distance (at least 1).
+    Extra nearest-neighbour edges are added if needed to make it connected. *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** A clique with a path attached: small D on the clique side, long s. *)
+
+val broom : tail:int -> arm_lengths:int list -> Graph.t * int array
+(** The adversarial family for the O(ks) round bound (experiment E3): a
+    hub (node 0) with a terminal-free path of [tail] unit edges attached,
+    plus, for each entry [l] of [arm_lengths], a pair of length-[l] arms
+    whose endpoints form one input component.  Distinct arm lengths make
+    the components complete in separate merge phases, and every phase's
+    terminal decomposition must re-sweep the tail — so the deterministic
+    algorithm really pays ~ k * s rounds.  Returns the graph and the
+    DSF-IC label array. *)
+
+val random_labels :
+  Dsf_util.Rng.t -> n:int -> t:int -> k:int -> int array
+(** A DSF-IC label assignment: [t] distinct terminals partitioned into [k]
+    components, each of size >= 2 (requires [t >= 2 * k]).  Returns an array
+    of length [n] with component id in [0, k) for terminals and [-1] for
+    non-terminals. *)
+
+val spread_labels :
+  Dsf_util.Rng.t -> Graph.t -> t:int -> k:int -> int array
+(** Like {!random_labels} but places each component's terminals in distinct
+    regions of the graph (grown from k random seeds via BFS), producing
+    instances where components are geographically coherent — the VPN-style
+    workloads of the paper's introduction. *)

@@ -1,0 +1,109 @@
+type edge = { u : int; v : int; w : int; id : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int * int) array array;
+}
+
+let make ~n edge_triples =
+  if n <= 0 then invalid_arg "Graph.make: n must be positive";
+  let seen = Hashtbl.create (List.length edge_triples) in
+  let check (u, v, w) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.make: endpoint out of range";
+    if u = v then invalid_arg "Graph.make: self-loop";
+    if w <= 0 then invalid_arg "Graph.make: non-positive weight";
+    let key = min u v, max u v in
+    if Hashtbl.mem seen key then invalid_arg "Graph.make: duplicate edge";
+    Hashtbl.add seen key ()
+  in
+  List.iter check edge_triples;
+  let edges =
+    Array.of_list
+      (List.mapi (fun id (u, v, w) -> { u; v; w; id }) edge_triples)
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, e.w, e.id);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, e.w, e.id);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  { n; edges; adj }
+
+let unweighted ~n pairs = make ~n (List.map (fun (u, v) -> u, v, 1) pairs)
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = g.edges
+let edge g id = g.edges.(id)
+let adj g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    d := max !d (degree g v)
+  done;
+  !d
+
+let total_weight g = Array.fold_left (fun acc e -> acc + e.w) 0 g.edges
+
+let max_weight g = Array.fold_left (fun acc e -> max acc e.w) 0 g.edges
+
+let endpoints g id =
+  let e = g.edges.(id) in
+  e.u, e.v
+
+let other_endpoint g ~eid v =
+  let e = g.edges.(eid) in
+  if e.u = v then e.v
+  else begin
+    assert (e.v = v);
+    e.u
+  end
+
+let find_edge g u v =
+  let best = ref None in
+  Array.iter (fun (nb, _, id) -> if nb = v then best := Some id) g.adj.(u);
+  !best
+
+let connected_components g =
+  let uf = Dsf_util.Union_find.create g.n in
+  Array.iter (fun e -> ignore (Dsf_util.Union_find.union uf e.u e.v)) g.edges;
+  Array.init g.n (fun v -> Dsf_util.Union_find.find uf v)
+
+let is_connected g =
+  let comp = connected_components g in
+  Array.for_all (fun c -> c = comp.(0)) comp
+
+let edge_set_weight g selected =
+  let acc = ref 0 in
+  Array.iter (fun e -> if selected.(e.id) then acc := !acc + e.w) g.edges;
+  !acc
+
+let edge_list_of_set g selected =
+  Array.to_list g.edges |> List.filter (fun e -> selected.(e.id))
+
+let subgraph_union_find g selected =
+  let uf = Dsf_util.Union_find.create g.n in
+  Array.iter
+    (fun e -> if selected.(e.id) then ignore (Dsf_util.Union_find.union uf e.u e.v))
+    g.edges;
+  uf
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  Array.iter
+    (fun e -> Format.fprintf ppf "  %d -- %d  (w=%d, id=%d)@," e.u e.v e.w e.id)
+    g.edges;
+  Format.fprintf ppf "@]"

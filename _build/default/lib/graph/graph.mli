@@ -1,0 +1,60 @@
+(** Weighted undirected graphs with integer weights.
+
+    This is the network substrate for everything in the repository: the
+    CONGEST simulator runs on it, the centralized reference algorithms run on
+    it, and instances of the Steiner Forest problem are a graph plus terminal
+    labels ({!Instance}).
+
+    Nodes are [0 .. n-1].  Edges carry positive integer weights (the paper
+    assumes weights polynomially bounded in [n]) and a stable [id] in
+    [0 .. m-1] used to represent output edge sets compactly as bit arrays. *)
+
+type edge = private { u : int; v : int; w : int; id : int }
+
+type t
+
+val make : n:int -> (int * int * int) list -> t
+(** [make ~n edges] builds a graph on [n] nodes from [(u, v, w)] triples.
+    Raises [Invalid_argument] on self-loops, duplicate edges, endpoints out
+    of range, or non-positive weights. *)
+
+val unweighted : n:int -> (int * int) list -> t
+(** All edges get weight 1. *)
+
+val n : t -> int
+val m : t -> int
+val edges : t -> edge array
+val edge : t -> int -> edge
+(** Edge by id. *)
+
+val adj : t -> int -> (int * int * int) array
+(** [adj g v] is the array of [(neighbor, weight, edge_id)] for [v]. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val total_weight : t -> int
+val max_weight : t -> int
+
+val endpoints : t -> int -> int * int
+(** Endpoints of an edge by id. *)
+
+val other_endpoint : t -> eid:int -> int -> int
+(** [other_endpoint g ~eid v] is the endpoint of edge [eid] that is not [v]. *)
+
+val find_edge : t -> int -> int -> int option
+(** Edge id connecting two given nodes, if any. *)
+
+val is_connected : t -> bool
+
+val connected_components : t -> int array
+(** [connected_components g] assigns each node a component representative. *)
+
+val edge_set_weight : t -> bool array -> int
+(** Total weight of the edges whose id is set in the given bit array. *)
+
+val edge_list_of_set : t -> bool array -> edge list
+
+val subgraph_union_find : t -> bool array -> Dsf_util.Union_find.t
+(** Union-find over nodes connected by the selected edge set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+type parsed =
+  | Ic of Instance.ic
+  | Cr of Instance.cr
+  | Plain of Graph.t
+
+exception Parse_error of int * string
+
+let fail lineno msg = raise (Parse_error (lineno, msg))
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref (-1) in
+  let edges = ref [] in
+  let labels = ref [] in
+  let requests = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      let int_arg w =
+        match int_of_string_opt w with
+        | Some x -> x
+        | None -> fail lineno (Printf.sprintf "expected integer, got %S" w)
+      in
+      match words with
+      | [] -> ()
+      | [ "n"; x ] ->
+          if !n >= 0 then fail lineno "duplicate n line";
+          n := int_arg x
+      | [ "edge"; u; v; w ] -> edges := (int_arg u, int_arg v, int_arg w) :: !edges
+      | [ "label"; v; l ] -> labels := (int_arg v, int_arg l) :: !labels
+      | [ "request"; u; v ] -> requests := (int_arg u, int_arg v) :: !requests
+      | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
+    lines;
+  if !n < 0 then fail 0 "missing n line";
+  let g =
+    try Graph.make ~n:!n (List.rev !edges)
+    with Invalid_argument msg -> fail 0 msg
+  in
+  match !labels, !requests with
+  | [], [] -> Plain g
+  | _ :: _, _ :: _ -> fail 0 "cannot mix label and request lines"
+  | ls, [] ->
+      let arr = Array.make !n (-1) in
+      List.iter
+        (fun (v, l) ->
+          if v < 0 || v >= !n then fail 0 "label node out of range";
+          if l < 0 then fail 0 "labels must be non-negative";
+          arr.(v) <- l)
+        ls;
+      Ic (Instance.make_ic g arr)
+  | [], rs ->
+      let arr = Array.make !n [] in
+      List.iter
+        (fun (u, v) ->
+          if u < 0 || u >= !n || v < 0 || v >= !n then
+            fail 0 "request node out of range";
+          arr.(u) <- v :: arr.(u))
+        rs;
+      Cr (Instance.make_cr g arr)
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string text
+
+let print_graph ppf g =
+  Format.fprintf ppf "n %d@." (Graph.n g);
+  Array.iter
+    (fun (e : Graph.edge) -> Format.fprintf ppf "edge %d %d %d@." e.u e.v e.w)
+    (Graph.edges g)
+
+let print_ic ppf (inst : Instance.ic) =
+  print_graph ppf inst.Instance.graph;
+  Array.iteri
+    (fun v l -> if l >= 0 then Format.fprintf ppf "label %d %d@." v l)
+    inst.Instance.labels
+
+let print_cr ppf (cr : Instance.cr) =
+  print_graph ppf cr.Instance.cr_graph;
+  Array.iteri
+    (fun u -> List.iter (fun v -> Format.fprintf ppf "request %d %d@." u v))
+    cr.Instance.requests
+
+let roundtrip_ic inst =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  print_ic ppf inst;
+  Format.pp_print_flush ppf ();
+  match parse_string (Buffer.contents buf) with
+  | Ic x -> x
+  | Cr _ | Plain _ -> invalid_arg "Io.roundtrip_ic: shape changed"
+
+let parse_solution g text =
+  let selected = Array.make (Graph.m g) false in
+  let lines = String.split_on_char '\n' text in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      if !error = None then begin
+        let line =
+          match String.index_opt line '#' with
+          | Some j -> String.sub line 0 j
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> ()
+        | [ u; v ] -> begin
+            match int_of_string_opt u, int_of_string_opt v with
+            | Some u, Some v
+              when u >= 0 && u < Graph.n g && v >= 0 && v < Graph.n g -> begin
+                match Graph.find_edge g u v with
+                | Some eid -> selected.(eid) <- true
+                | None ->
+                    error :=
+                      Some (Printf.sprintf "line %d: no edge %d-%d" (i + 1) u v)
+              end
+            | _ -> error := Some (Printf.sprintf "line %d: bad endpoints" (i + 1))
+          end
+        | _ -> error := Some (Printf.sprintf "line %d: expected \"u v\"" (i + 1))
+      end)
+    lines;
+  match !error with Some e -> Error e | None -> Ok selected
+
+let print_solution ppf g selected =
+  Array.iter
+    (fun (e : Graph.edge) ->
+      if selected.(e.id) then Format.fprintf ppf "%d %d@." e.u e.v)
+    (Graph.edges g)

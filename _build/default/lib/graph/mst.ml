@@ -1,0 +1,22 @@
+module Uf = Dsf_util.Union_find
+
+let kruskal g =
+  let edges = Array.copy (Graph.edges g) in
+  Array.sort
+    (fun (a : Graph.edge) (b : Graph.edge) -> compare (a.w, a.id) (b.w, b.id))
+    edges;
+  let uf = Uf.create (Graph.n g) in
+  let selected = Array.make (Graph.m g) false in
+  Array.iter
+    (fun (e : Graph.edge) -> if Uf.union uf e.u e.v then selected.(e.id) <- true)
+    edges;
+  selected
+
+let weight g = Graph.edge_set_weight g (kruskal g)
+
+let is_spanning_tree g f =
+  let count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 f in
+  count = Graph.n g - 1
+  &&
+  let uf = Graph.subgraph_union_find g f in
+  Uf.n_sets uf = 1

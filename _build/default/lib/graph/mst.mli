@@ -1,0 +1,12 @@
+(** Minimum spanning trees / forests (Kruskal).  Reference implementation
+    used by the MST baseline and the E9 "MST special case" experiment. *)
+
+val kruskal : Graph.t -> bool array
+(** Minimum spanning forest as an edge-id bit set.  Ties broken by edge id,
+    matching the paper's lexicographic tie-breaking convention. *)
+
+val weight : Graph.t -> int
+(** Weight of a minimum spanning forest. *)
+
+val is_spanning_tree : Graph.t -> bool array -> bool
+(** Is the edge set a spanning tree of a connected graph? *)

@@ -1,0 +1,164 @@
+module Heap = Dsf_util.Heap
+
+let inf = max_int
+
+(* Lexicographic Dijkstra on (weight, hops): among least-weight paths we keep
+   one with the fewest hops, which is exactly the path family the
+   shortest-path diameter [s] is defined over. *)
+let dijkstra_hops g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n inf in
+  let hops = Array.make n inf in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let cmp (d1, h1, _, _) (d2, h2, _, _) = compare (d1, h1) (d2, h2) in
+  let heap = Heap.create ~cmp in
+  dist.(src) <- 0;
+  hops.(src) <- 0;
+  Heap.push heap (0, 0, src, -1);
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, h, v, par) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          dist.(v) <- d;
+          hops.(v) <- h;
+          parent.(v) <- par;
+          Array.iter
+            (fun (nb, w, _) ->
+              if not settled.(nb) then begin
+                let nd = d + w and nh = h + 1 in
+                if (nd, nh) < (dist.(nb), hops.(nb)) then begin
+                  dist.(nb) <- nd;
+                  hops.(nb) <- nh;
+                  Heap.push heap (nd, nh, nb, v)
+                end
+              end)
+            (Graph.adj g v)
+        end;
+        loop ()
+  in
+  loop ();
+  (* Reset unreachable markers: dist stays inf, hops inf, parent -1. *)
+  dist, parent, hops
+
+let dijkstra g ~src =
+  let dist, parent, _ = dijkstra_hops g ~src in
+  dist, parent
+
+let shortest_path g ~src ~dst =
+  let dist, parent, _ = dijkstra_hops g ~src in
+  if dist.(dst) = inf then None
+  else begin
+    let rec build acc v = if v = src then v :: acc else build (v :: acc) parent.(v) in
+    Some (build [] dst, dist.(dst))
+  end
+
+let path_edges g nodes =
+  let rec go acc = function
+    | [] | [ _ ] -> List.rev acc
+    | u :: (v :: _ as rest) -> begin
+        match Graph.find_edge g u v with
+        | Some id -> go (id :: acc) rest
+        | None -> invalid_arg "Paths.path_edges: non-adjacent consecutive nodes"
+      end
+  in
+  go [] nodes
+
+let bfs g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n inf in
+  let parent = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (nb, _, _) ->
+        if dist.(nb) = inf then begin
+          dist.(nb) <- dist.(v) + 1;
+          parent.(nb) <- v;
+          Queue.add nb q
+        end)
+      (Graph.adj g v)
+  done;
+  dist, parent
+
+let bfs_multi g ~srcs =
+  let n = Graph.n g in
+  let dist = Array.make n inf in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = inf then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    srcs;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (nb, _, _) ->
+        if dist.(nb) = inf then begin
+          dist.(nb) <- dist.(v) + 1;
+          Queue.add nb q
+        end)
+      (Graph.adj g v)
+  done;
+  dist
+
+let all_pairs g =
+  Array.init (Graph.n g) (fun src -> fst (dijkstra g ~src))
+
+let eccentricity_unweighted g v =
+  let dist, _ = bfs g ~src:v in
+  Array.fold_left
+    (fun acc d ->
+      if d = inf then invalid_arg "Paths: disconnected graph" else max acc d)
+    0 dist
+
+let fold_sources g f init =
+  let acc = ref init in
+  for src = 0 to Graph.n g - 1 do
+    acc := f !acc src
+  done;
+  !acc
+
+let diameter_unweighted g =
+  fold_sources g (fun acc src -> max acc (eccentricity_unweighted g src)) 0
+
+let diameter_weighted g =
+  fold_sources g
+    (fun acc src ->
+      let dist, _ = dijkstra g ~src in
+      Array.fold_left
+        (fun a d ->
+          if d = inf then invalid_arg "Paths: disconnected graph" else max a d)
+        acc dist)
+    0
+
+let shortest_path_diameter g =
+  fold_sources g
+    (fun acc src ->
+      let _, _, hops = dijkstra_hops g ~src in
+      Array.fold_left
+        (fun a h ->
+          if h = inf then invalid_arg "Paths: disconnected graph" else max a h)
+        acc hops)
+    0
+
+let parameters g =
+  let d = ref 0 and wd = ref 0 and s = ref 0 in
+  for src = 0 to Graph.n g - 1 do
+    let bd, _ = bfs g ~src in
+    let dist, _, hops = dijkstra_hops g ~src in
+    for v = 0 to Graph.n g - 1 do
+      if bd.(v) = inf then invalid_arg "Paths: disconnected graph";
+      d := max !d bd.(v);
+      wd := max !wd dist.(v);
+      s := max !s hops.(v)
+    done
+  done;
+  !d, !wd, !s

@@ -1,0 +1,46 @@
+(** Centralized shortest-path algorithms and the graph parameters the paper's
+    bounds are stated in: unweighted diameter [D], weighted diameter [WD], and
+    shortest-path diameter [s] (the maximum, over node pairs, of the minimum
+    hop count among least-weight paths — Section 2). *)
+
+val dijkstra : Graph.t -> src:int -> int array * int array
+(** [dijkstra g ~src] returns [(dist, parent)].  [dist.(v)] is the weighted
+    distance from [src] ([max_int] if unreachable); [parent.(v)] is the
+    predecessor on a least-weight, least-hop path ([-1] for [src] and
+    unreachable nodes). *)
+
+val dijkstra_hops : Graph.t -> src:int -> int array * int array * int array
+(** Like {!dijkstra} but also returns the hop count of the least-hop
+    least-weight path to each node. *)
+
+val shortest_path : Graph.t -> src:int -> dst:int -> (int list * int) option
+(** Node sequence (from [src] to [dst]) and weight of a least-weight
+    least-hop path, or [None] if disconnected. *)
+
+val path_edges : Graph.t -> int list -> int list
+(** Edge ids along a node sequence.  Raises if consecutive nodes are not
+    adjacent. *)
+
+val bfs : Graph.t -> src:int -> int array * int array
+(** Unweighted distances and BFS-tree parents. *)
+
+val bfs_multi : Graph.t -> srcs:int list -> int array
+(** Unweighted distance to the nearest source. *)
+
+val all_pairs : Graph.t -> int array array
+(** All-pairs weighted distances (repeated Dijkstra). *)
+
+val eccentricity_unweighted : Graph.t -> int -> int
+
+val diameter_unweighted : Graph.t -> int
+(** [D].  Raises [Invalid_argument] if the graph is disconnected. *)
+
+val diameter_weighted : Graph.t -> int
+(** [WD]. *)
+
+val shortest_path_diameter : Graph.t -> int
+(** [s]: max over pairs of the min hop count among least-weight paths.  Uses
+    lexicographic (weight, hops) Dijkstra from every source; O(n·m log n). *)
+
+val parameters : Graph.t -> int * int * int
+(** [(d, wd, s)] in one pass over sources. *)

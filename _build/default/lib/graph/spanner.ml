@@ -1,0 +1,90 @@
+module Heap = Dsf_util.Heap
+
+type t = {
+  points : int;
+  edges : (int * int * int) list;
+}
+
+(* Dijkstra over the current spanner adjacency, stopping early once the
+   target is settled or distances exceed the cap. *)
+let dijkstra_capped adj p src dst cap =
+  let dist = Array.make p max_int in
+  let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  dist.(src) <- 0;
+  Heap.push heap (0, src);
+  let result = ref max_int in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (d, v) ->
+        if d <= dist.(v) then begin
+          if v = dst then begin
+            result := d;
+            continue := false
+          end
+          else if d > cap then continue := false
+          else
+            List.iter
+              (fun (nb, w) ->
+                if d + w < dist.(nb) then begin
+                  dist.(nb) <- d + w;
+                  Heap.push heap (d + w, nb)
+                end)
+              adj.(v)
+        end
+  done;
+  !result
+
+let greedy ~dist ~points ~stretch =
+  assert (stretch >= 1);
+  let pairs = ref [] in
+  for i = 0 to points - 1 do
+    for j = i + 1 to points - 1 do
+      let d = dist i j in
+      assert (d > 0);
+      pairs := (d, i, j) :: !pairs
+    done
+  done;
+  let sorted = List.sort compare !pairs in
+  let adj = Array.make points [] in
+  let edges = ref [] in
+  List.iter
+    (fun (d, i, j) ->
+      let within = dijkstra_capped adj points i j (stretch * d) in
+      if within > stretch * d then begin
+        adj.(i) <- (j, d) :: adj.(i);
+        adj.(j) <- (i, d) :: adj.(j);
+        edges := (i, j, d) :: !edges
+      end)
+    sorted;
+  { points; edges = List.rev !edges }
+
+let adjacency t =
+  let adj = Array.make t.points [] in
+  List.iter
+    (fun (i, j, d) ->
+      adj.(i) <- (j, d) :: adj.(i);
+      adj.(j) <- (i, d) :: adj.(j))
+    t.edges;
+  adj
+
+let spanner_distance t src dst =
+  if src = dst then 0
+  else dijkstra_capped (adjacency t) t.points src dst max_int
+
+let max_stretch t ~dist =
+  let worst = ref 1.0 in
+  for i = 0 to t.points - 1 do
+    for j = i + 1 to t.points - 1 do
+      let sd = spanner_distance t i j in
+      let d = dist i j in
+      if sd < max_int && d > 0 then begin
+        let s = float_of_int sd /. float_of_int d in
+        if s > !worst then worst := s
+      end
+    done
+  done;
+  !worst
+
+let edge_count t = List.length t.edges

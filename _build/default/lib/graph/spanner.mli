@@ -1,0 +1,29 @@
+(** Greedy metric spanners — the core data structure of the paper's [17]
+    black box (Lenzen & Patt-Shamir, STOC 2013), which builds a sparse
+    spanner of the metric induced on the terminals and a node sample, then
+    solves the instance centrally on it.
+
+    [greedy] is the classical Althöfer et al. construction: scan point
+    pairs by increasing distance and keep an edge iff the spanner built so
+    far does not already connect the pair within [stretch] times its
+    distance.  The result is a [stretch]-spanner; with stretch 2r - 1 its
+    size is O(p^(1 + 1/r)) edges on [p] points. *)
+
+type t = {
+  points : int;
+  edges : (int * int * int) list;  (** (i, j, distance) over point indices *)
+}
+
+val greedy : dist:(int -> int -> int) -> points:int -> stretch:int -> t
+(** [dist] must be symmetric, positive off the diagonal.  O(p^2 log p +
+    p * |edges| * log p). *)
+
+val spanner_distance : t -> int -> int -> int
+(** Shortest-path distance within the spanner ([max_int] if disconnected —
+    cannot happen for outputs of {!greedy} on finite metrics). *)
+
+val max_stretch : t -> dist:(int -> int -> int) -> float
+(** max over pairs of spanner_distance / dist — by construction at most the
+    stretch passed to {!greedy}. *)
+
+val edge_count : t -> int

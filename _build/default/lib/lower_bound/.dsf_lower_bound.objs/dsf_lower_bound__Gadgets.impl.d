@@ -1,0 +1,1 @@
+lib/lower_bound/gadgets.ml: Array Dsf_congest Dsf_graph Dsf_util Fun List

@@ -1,0 +1,1 @@
+lib/lower_bound/gadgets.mli: Dsf_graph Dsf_util

@@ -1,0 +1,10 @@
+let int_bits x =
+  assert (x >= 0);
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 x)
+
+let id_bits ~n = int_bits (max 1 (n - 1))
+
+let weight_bits ~max_weight = int_bits (max 1 max_weight)
+
+let congest_budget ~n = 16 * id_bits ~n

@@ -1,0 +1,21 @@
+(** Bit-size accounting for CONGEST messages.
+
+    The CONGEST(log n) model allows O(log n) bits per edge per round.  The
+    simulator charges every message its encoded size in bits using the
+    helpers below; identifiers and polynomially-bounded weights each cost
+    O(log n) bits as the paper assumes (Section 2). *)
+
+val int_bits : int -> int
+(** Bits to encode a non-negative integer: [max 1 (floor(log2 x) + 1)]. *)
+
+val id_bits : n:int -> int
+(** Bits for a node/component identifier in an [n]-node network:
+    [ceil(log2 n)], at least 1. *)
+
+val weight_bits : max_weight:int -> int
+(** Bits for a weight or distance bounded by [max_weight]. *)
+
+val congest_budget : n:int -> int
+(** The per-edge per-round budget the simulator enforces by default:
+    [c * ceil(log2 n)] for a small constant [c] (we use 16, since the
+    paper's messages carry a constant number of identifiers and weights). *)

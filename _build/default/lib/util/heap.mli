@@ -1,0 +1,21 @@
+(** Binary min-heap over polymorphic elements with an explicit comparison.
+
+    Used by Dijkstra, the centralized moat-growing event queue, and the
+    exact Steiner-tree dynamic program. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t

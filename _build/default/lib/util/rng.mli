@@ -1,0 +1,39 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized algorithms in this repository draw randomness through this
+    module so that every run is reproducible from a single integer seed.  The
+    generator is a thin wrapper over [Random.State] plus a deterministic
+    splitting scheme: [split t i] derives an independent stream for index [i],
+    which is how per-node random bits are modelled in the CONGEST simulator
+    (each node owns its own stream, as the model grants each node an unlimited
+    supply of independent random bits). *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> int -> t
+(** [split t i] derives a statistically independent generator for index [i].
+    Deterministic: the same [t] and [i] always yield the same stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t m n] draws [m] distinct values from
+    [0..n-1], in random order.  Requires [m <= n]. *)

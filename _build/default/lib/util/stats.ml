@@ -1,0 +1,49 @@
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let median xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let min_max xs =
+  match xs with
+  | [] -> nan, nan
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> min lo v, max hi v) (x, x) rest
+
+let linear_fit pts =
+  let n = float_of_int (List.length pts) in
+  assert (List.length pts >= 2);
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  assert (abs_float denom > 1e-12);
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  slope, intercept
+
+let loglog_slope pts =
+  let logged = List.map (fun (x, y) -> log x, log y) pts in
+  fst (linear_fit logged)
+
+let ratio_summary pairs =
+  let ratios = List.map (fun (m, r) -> m /. r) pairs in
+  let lo, hi = min_max ratios in
+  lo, mean ratios, hi

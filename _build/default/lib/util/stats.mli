@@ -1,0 +1,18 @@
+(** Small statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val median : float list -> float
+val min_max : float list -> float * float
+
+val linear_fit : (float * float) list -> float * float
+(** Ordinary least squares: [linear_fit pts] returns [(slope, intercept)]
+    for y = slope*x + intercept.  Requires at least two distinct x values. *)
+
+val loglog_slope : (float * float) list -> float
+(** Fit slope of [log y] against [log x]: the empirical scaling exponent.
+    All coordinates must be positive. *)
+
+val ratio_summary : (float * float) list -> float * float * float
+(** Given (measured, reference) pairs, return (min, mean, max) of the
+    measured/reference ratios. *)

@@ -1,0 +1,64 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  size : int array;
+  mutable n_sets : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    size = Array.make n 1;
+    n_sets = n;
+  }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let same t a b = find t a = find t b
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb =
+      if t.rank.(ra) < t.rank.(rb) then rb, ra
+      else begin
+        if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+        ra, rb
+      end
+    in
+    t.parent.(rb) <- ra;
+    t.size.(ra) <- t.size.(ra) + t.size.(rb);
+    t.n_sets <- t.n_sets - 1;
+    true
+  end
+
+let size t x = t.size.(find t x)
+
+let n_sets t = t.n_sets
+
+let copy t =
+  {
+    parent = Array.copy t.parent;
+    rank = Array.copy t.rank;
+    size = Array.copy t.size;
+    n_sets = t.n_sets;
+  }
+
+let groups t =
+  let h = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ ->
+      let r = find t i in
+      let prev = try Hashtbl.find h r with Not_found -> [] in
+      Hashtbl.replace h r (i :: prev))
+    t.parent;
+  h

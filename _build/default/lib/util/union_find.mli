@@ -1,0 +1,29 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used for Kruskal-style cycle filtering (candidate-merge selection,
+    Lemma 4.13/4.14), moat membership tracking, and connectivity checks. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] if they were
+    already in the same set (i.e. the union would close a cycle). *)
+
+val same : t -> int -> int -> bool
+
+val size : t -> int -> int
+(** Number of elements in the set containing the given element. *)
+
+val n_sets : t -> int
+(** Number of distinct sets currently. *)
+
+val copy : t -> t
+
+val groups : t -> (int, int list) Hashtbl.t
+(** Map from representative to the members of its set. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Dsf_baseline Dsf_congest Dsf_graph Dsf_util Exact Gen Instance Khan_etal List Mst Mst_distributed QCheck QCheck_alcotest Steiner_tree Steiner_tree_distributed

@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Bellman_ford Bfs Dsf_congest Dsf_graph Dsf_util Fun Gen Graph Ledger List Mst Paths Pipeline Printf QCheck QCheck_alcotest Sim Tree_ops

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Det_dsf Dsf_congest Dsf_core Dsf_graph Dsf_util Exact Frac Fun Gen Graph Instance List Moat Moat_rounded Paths Printf QCheck QCheck_alcotest Region_bf Transform

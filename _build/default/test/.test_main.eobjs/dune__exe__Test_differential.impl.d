@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Certify Det_dsf Det_sublinear Dsf_core Dsf_graph Dsf_util Exact Frac Gen Graph Instance List Moat QCheck QCheck_alcotest Rand_dsf

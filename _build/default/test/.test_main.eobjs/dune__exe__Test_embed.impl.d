@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Array Dsf_embed Dsf_graph Dsf_util Gen Graph Le_list List Paths QCheck QCheck_alcotest Virtual_tree

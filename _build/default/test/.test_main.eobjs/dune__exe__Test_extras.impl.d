@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Buffer Dot Dsf_congest Dsf_core Dsf_graph Dsf_lower_bound Dsf_util Format Fun Gen Graph Instance List Paths Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Certify Det_dsf Det_sublinear Dsf_core Dsf_graph Dsf_util Frac Gen Graph Instance List Moat Moat_rounded Mst Pruning QCheck QCheck_alcotest Rand_dsf Solver

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dsf_graph Dsf_util Exact Gen Graph Instance List Mst Paths Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Array Bool Dsf_congest Dsf_core Dsf_graph Dsf_lower_bound Dsf_util Gadgets Gen Graph Instance List Paths Printf QCheck QCheck_alcotest

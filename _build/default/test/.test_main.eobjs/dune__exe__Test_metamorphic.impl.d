@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Alcotest Array Buffer Dsf_congest Dsf_core Dsf_graph Dsf_util Exact Format Gen Graph Instance Io List Mst Paths QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Certify Dsf_congest Dsf_core Dsf_graph Dsf_util Format Frac Gen Graph Instance List Moat Moat_rounded Printf QCheck QCheck_alcotest String

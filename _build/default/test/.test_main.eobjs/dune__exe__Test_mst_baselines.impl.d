@@ -1,0 +1,1 @@
+test/test_mst_baselines.ml: Alcotest Array Dsf_baseline Dsf_congest Dsf_core Dsf_graph Dsf_util Format Fun Gen Graph Instance List Mst Paths QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pruning.ml: Alcotest Array Det_dsf Dsf_congest Dsf_core Dsf_graph Dsf_util F6_protocol Fun Gen Graph Instance Mst Pruning QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rand.ml: Alcotest Array Det_sublinear Dsf_congest Dsf_core Dsf_graph Dsf_util Exact Gen Graph Instance List Moat_rounded Paths QCheck QCheck_alcotest Rand_dsf Reduced_solver String

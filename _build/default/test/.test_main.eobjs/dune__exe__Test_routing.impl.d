@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Dsf_congest Dsf_core Dsf_embed Dsf_graph Dsf_util Frac Gen Graph Instance Level_routing List Moat Paths QCheck QCheck_alcotest

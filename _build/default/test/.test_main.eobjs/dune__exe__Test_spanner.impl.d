@@ -1,0 +1,1 @@
+test/test_spanner.ml: Alcotest Array Dsf_core Dsf_graph Dsf_util Gen Graph Instance List Paths Printf QCheck QCheck_alcotest Spanner

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitsize Dsf_util Fun Hashtbl Heap List QCheck QCheck_alcotest Rng Stats Union_find

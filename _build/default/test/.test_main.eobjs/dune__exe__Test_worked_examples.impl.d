@@ -1,0 +1,1 @@
+test/test_worked_examples.ml: Alcotest Det_dsf Dsf_core Dsf_graph Frac Gen Graph Instance List Moat Printf

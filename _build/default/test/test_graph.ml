@@ -1,0 +1,495 @@
+open Dsf_graph
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let rng seed = Dsf_util.Rng.create seed
+
+(* A diamond with a heavy direct edge: 0-1-3 (w 1+1) beats 0-3 (w 5);
+   0-2-3 costs 2+2. *)
+let diamond () =
+  Graph.make ~n:4 [ 0, 1, 1; 1, 3, 1; 0, 2, 2; 2, 3, 2; 0, 3, 5 ]
+
+(* ----------------------------------------------------------------- Graph *)
+
+let test_graph_basic () =
+  let g = diamond () in
+  check Alcotest.int "n" 4 (Graph.n g);
+  check Alcotest.int "m" 5 (Graph.m g);
+  check Alcotest.int "degree 0" 3 (Graph.degree g 0);
+  check Alcotest.int "max degree" 3 (Graph.max_degree g);
+  check Alcotest.int "total weight" 11 (Graph.total_weight g);
+  check Alcotest.int "max weight" 5 (Graph.max_weight g)
+
+let test_graph_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop")
+    (fun () -> ignore (Graph.make ~n:2 [ 0, 0, 1 ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.make: duplicate edge") (fun () ->
+      ignore (Graph.make ~n:2 [ 0, 1, 1; 1, 0, 2 ]));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Graph.make: non-positive weight") (fun () ->
+      ignore (Graph.make ~n:2 [ 0, 1, 0 ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.make: endpoint out of range") (fun () ->
+      ignore (Graph.make ~n:2 [ 0, 2, 1 ]))
+
+let test_graph_edges () =
+  let g = diamond () in
+  (match Graph.find_edge g 0 3 with
+  | Some id ->
+      let u, v = Graph.endpoints g id in
+      Alcotest.(check bool) "endpoints" true ((u, v) = (0, 3) || (u, v) = (3, 0));
+      check Alcotest.int "other endpoint" 3 (Graph.other_endpoint g ~eid:id 0)
+  | None -> Alcotest.fail "edge 0-3 should exist");
+  check Alcotest.(option int) "absent edge" None (Graph.find_edge g 1 2)
+
+let test_graph_connectivity () =
+  Alcotest.(check bool) "diamond connected" true (Graph.is_connected (diamond ()));
+  let g = Graph.make ~n:4 [ 0, 1, 1; 2, 3, 1 ] in
+  Alcotest.(check bool) "two components" false (Graph.is_connected g);
+  let comp = Graph.connected_components g in
+  Alcotest.(check bool) "0~1" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "0!~2" false (comp.(0) = comp.(2))
+
+let test_edge_set_weight () =
+  let g = diamond () in
+  let f = Array.make (Graph.m g) false in
+  f.(0) <- true;
+  f.(1) <- true;
+  check Alcotest.int "selected weight" 2 (Graph.edge_set_weight g f);
+  check Alcotest.int "selected edges" 2 (List.length (Graph.edge_list_of_set g f))
+
+(* ----------------------------------------------------------------- Paths *)
+
+let test_dijkstra_diamond () =
+  let g = diamond () in
+  let dist, _ = Paths.dijkstra g ~src:0 in
+  check Alcotest.(array int) "distances" [| 0; 1; 2; 2 |] dist
+
+let test_dijkstra_prefers_fewer_hops () =
+  (* Two shortest paths of weight 2 from 0 to 2: direct (1 hop) and via 1
+     (2 hops); the hop count must be 1. *)
+  let g = Graph.make ~n:3 [ 0, 1, 1; 1, 2, 1; 0, 2, 2 ] in
+  let _, _, hops = Paths.dijkstra_hops g ~src:0 in
+  check Alcotest.int "min hops among shortest" 1 hops.(2)
+
+let test_shortest_path () =
+  let g = diamond () in
+  match Paths.shortest_path g ~src:0 ~dst:3 with
+  | Some (nodes, w) ->
+      check Alcotest.(list int) "path" [ 0; 1; 3 ] nodes;
+      check Alcotest.int "weight" 2 w;
+      check Alcotest.int "edges" 2 (List.length (Paths.path_edges g nodes))
+  | None -> Alcotest.fail "path should exist"
+
+let test_bfs () =
+  let g = Gen.path 5 in
+  let dist, parent = Paths.bfs g ~src:0 in
+  check Alcotest.(array int) "bfs dist" [| 0; 1; 2; 3; 4 |] dist;
+  check Alcotest.int "parent of 4" 3 parent.(4)
+
+let test_bfs_multi () =
+  let g = Gen.path 5 in
+  let dist = Paths.bfs_multi g ~srcs:[ 0; 4 ] in
+  check Alcotest.(array int) "multi-source" [| 0; 1; 2; 1; 0 |] dist
+
+let test_parameters_path () =
+  let g = Gen.path 6 in
+  let d, wd, s = Paths.parameters g in
+  check Alcotest.int "D" 5 d;
+  check Alcotest.int "WD" 5 wd;
+  check Alcotest.int "s" 5 s
+
+let test_parameters_weighted_cycle () =
+  (* Cycle of 4 with one heavy edge: shortest paths avoid it. *)
+  let g = Graph.make ~n:4 [ 0, 1, 1; 1, 2, 1; 2, 3, 1; 3, 0, 10 ] in
+  let d, wd, s = Paths.parameters g in
+  check Alcotest.int "D" 2 d;
+  check Alcotest.int "WD" 3 wd;
+  (* 0 to 3 must go 0-1-2-3: 3 hops. *)
+  check Alcotest.int "s" 3 s
+
+let test_s_vs_d_gap () =
+  (* Lollipop-ish: s can exceed D in weighted graphs; here a heavy shortcut
+     keeps D low while weighted shortest paths take the long way. *)
+  let n = 10 in
+  let edges =
+    List.init (n - 1) (fun i -> i, i + 1, 1) @ [ 0, n - 1, 100 ]
+  in
+  let g = Graph.make ~n edges in
+  let d, _, s = Paths.parameters g in
+  check Alcotest.int "D small" 1 (Paths.bfs g ~src:0 |> fun (dist, _) -> dist.(n - 1));
+  Alcotest.(check bool) "s > D" true (s > d)
+
+let prop_dijkstra_triangle =
+  QCheck.Test.make ~name:"dijkstra satisfies triangle inequality" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen.random_connected (rng seed) ~n:20 ~extra_edges:20 ~max_w:10 in
+      let apsp = Paths.all_pairs g in
+      let ok = ref true in
+      for u = 0 to 19 do
+        for v = 0 to 19 do
+          for w = 0 to 19 do
+            if apsp.(u).(v) > apsp.(u).(w) + apsp.(w).(v) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_dijkstra_edge_bound =
+  QCheck.Test.make ~name:"dijkstra distances respect every edge" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen.random_connected (rng seed) ~n:25 ~extra_edges:15 ~max_w:9 in
+      let dist, _ = Paths.dijkstra g ~src:0 in
+      Array.for_all
+        (fun (e : Graph.edge) ->
+          dist.(e.u) <= dist.(e.v) + e.w && dist.(e.v) <= dist.(e.u) + e.w)
+        (Graph.edges g))
+
+(* ------------------------------------------------------------------- Gen *)
+
+let test_gen_shapes () =
+  check Alcotest.int "path edges" 4 (Graph.m (Gen.path 5));
+  check Alcotest.int "cycle edges" 5 (Graph.m (Gen.cycle 5));
+  check Alcotest.int "star edges" 5 (Graph.m (Gen.star 6));
+  check Alcotest.int "complete edges" 10 (Graph.m (Gen.complete 5));
+  check Alcotest.int "grid edges" 12 (Graph.m (Gen.grid ~rows:3 ~cols:3));
+  check Alcotest.int "tree edges" 9 (Graph.m (Gen.binary_tree 10));
+  Alcotest.(check bool) "tree connected" true (Graph.is_connected (Gen.binary_tree 10))
+
+let test_gen_lollipop () =
+  let g = Gen.lollipop ~clique:4 ~tail:3 in
+  check Alcotest.int "n" 7 (Graph.n g);
+  check Alcotest.int "m" 9 (Graph.m g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_gen_random_connected () =
+  let g = Gen.random_connected (rng 5) ~n:50 ~extra_edges:30 ~max_w:20 in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  check Alcotest.int "n" 50 (Graph.n g);
+  Alcotest.(check bool) "enough edges" true (Graph.m g >= 49);
+  Alcotest.(check bool) "weights in range" true
+    (Array.for_all
+       (fun (e : Graph.edge) -> e.w >= 1 && e.w <= 20)
+       (Graph.edges g))
+
+let test_gen_geometric () =
+  let g = Gen.random_geometric (rng 11) ~n:40 ~radius:0.25 ~max_w:100 in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  check Alcotest.int "n" 40 (Graph.n g)
+
+let test_gen_labels () =
+  let labels = Gen.random_labels (rng 2) ~n:30 ~t:10 ~k:3 in
+  let counts = Array.make 3 0 in
+  let terminals = ref 0 in
+  Array.iter
+    (fun l ->
+      if l >= 0 then begin
+        incr terminals;
+        counts.(l) <- counts.(l) + 1
+      end)
+    labels;
+  check Alcotest.int "t terminals" 10 !terminals;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "component %d has >= 2" i) true (c >= 2))
+    counts
+
+let test_gen_spread_labels () =
+  let g = Gen.grid ~rows:6 ~cols:6 in
+  let labels = Gen.spread_labels (rng 9) g ~t:12 ~k:4 in
+  let counts = Array.make 4 0 in
+  Array.iter (fun l -> if l >= 0 then counts.(l) <- counts.(l) + 1) labels;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "each component >= 2" true (c >= 2))
+    counts
+
+(* -------------------------------------------------------------- Instance *)
+
+let instance_of_labels g labels = Instance.make_ic g (Array.of_list labels)
+
+let test_instance_counts () =
+  let g = Gen.path 6 in
+  let inst = instance_of_labels g [ 0; -1; 0; 1; -1; 1 ] in
+  check Alcotest.int "t" 4 (Instance.terminal_count inst);
+  check Alcotest.int "k" 2 (Instance.component_count inst);
+  check Alcotest.int "k0" 2 (Instance.nontrivial_component_count inst)
+
+let test_instance_minimalize () =
+  let g = Gen.path 4 in
+  let inst = instance_of_labels g [ 0; 1; -1; 0 ] in
+  check Alcotest.int "k before" 2 (Instance.component_count inst);
+  let m = Instance.minimalize inst in
+  check Alcotest.int "k after" 1 (Instance.component_count m);
+  check Alcotest.int "k0 unchanged" 1 (Instance.nontrivial_component_count m)
+
+let test_instance_feasible () =
+  let g = Gen.path 4 in
+  let inst = instance_of_labels g [ 0; -1; -1; 0 ] in
+  let f = Array.make (Graph.m g) true in
+  Alcotest.(check bool) "full set feasible" true (Instance.is_feasible inst f);
+  let f2 = Array.make (Graph.m g) false in
+  Alcotest.(check bool) "empty infeasible" false (Instance.is_feasible inst f2)
+
+let test_instance_cr_to_ic () =
+  let g = Gen.path 5 in
+  let requests = Array.make 5 [] in
+  requests.(0) <- [ 2 ];
+  requests.(2) <- [ 4 ];
+  let cr = Instance.make_cr g requests in
+  let inst = Instance.ic_of_cr cr in
+  (* transitivity: 0, 2, 4 all in one input component *)
+  check Alcotest.int "k" 1 (Instance.component_count inst);
+  check Alcotest.int "t" 3 (Instance.terminal_count inst);
+  Alcotest.(check bool) "same label" true
+    (inst.Instance.labels.(0) = inst.Instance.labels.(4))
+
+let test_cr_feasibility () =
+  let g = Gen.path 5 in
+  let requests = Array.make 5 [] in
+  requests.(0) <- [ 4 ];
+  let cr = Instance.make_cr g requests in
+  let f = Array.make (Graph.m g) true in
+  Alcotest.(check bool) "feasible" true (Instance.cr_is_feasible cr f);
+  f.(2) <- false;
+  Alcotest.(check bool) "broken path" false (Instance.cr_is_feasible cr f)
+
+let test_prune_removes_dangling () =
+  (* Path 0-1-2-3-4, terminals {0, 2} same label; the full path is a
+     feasible forest but edges 2-3, 3-4 are useless. *)
+  let g = Gen.path 5 in
+  let inst = instance_of_labels g [ 0; -1; 0; -1; -1 ] in
+  let f = Array.make (Graph.m g) true in
+  let pruned = Instance.prune inst f in
+  check Alcotest.int "pruned weight" 2 (Instance.solution_weight inst pruned);
+  Alcotest.(check bool) "still feasible" true (Instance.is_feasible inst pruned)
+
+let test_prune_keeps_steiner_node () =
+  (* Star with hub 0: terminals at three leaves, one label.  All three
+     spokes needed. *)
+  let g = Gen.star 5 in
+  let inst = instance_of_labels g [ -1; 0; 0; 0; -1 ] in
+  let f = Array.make (Graph.m g) false in
+  List.iter (fun (u, v) ->
+      match Graph.find_edge g u v with
+      | Some id -> f.(id) <- true
+      | None -> assert false)
+    [ 0, 1; 0, 2; 0, 3; 0, 4 ];
+  let pruned = Instance.prune inst f in
+  check Alcotest.int "keeps 3 spokes" 3 (Instance.solution_weight inst pruned);
+  Alcotest.(check bool) "feasible" true (Instance.is_feasible inst pruned)
+
+let test_prune_two_components () =
+  (* Two separate labels on a path; pruning keeps both segments. *)
+  let g = Gen.path 6 in
+  let inst = instance_of_labels g [ 0; 0; -1; -1; 1; 1 ] in
+  let f = Array.make (Graph.m g) true in
+  let pruned = Instance.prune inst f in
+  check Alcotest.int "weight" 2 (Instance.solution_weight inst pruned)
+
+let prop_prune_minimal_and_feasible =
+  QCheck.Test.make
+    ~name:"prune yields feasible subforest; every edge necessary" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let r = rng seed in
+      let g = Gen.random_connected r ~n:15 ~extra_edges:10 ~max_w:5 in
+      let labels = Gen.random_labels r ~n:15 ~t:6 ~k:2 in
+      let inst = Instance.make_ic g labels in
+      (* Start from a spanning tree (always a feasible forest). *)
+      let f = Mst.kruskal g in
+      let pruned = Instance.prune inst f in
+      if not (Instance.is_feasible inst pruned) then false
+      else begin
+        (* Removing any kept edge must break feasibility. *)
+        let ok = ref true in
+        Array.iteri
+          (fun id kept ->
+            if kept then begin
+              let f' = Array.copy pruned in
+              f'.(id) <- false;
+              if Instance.is_feasible inst f' then ok := false
+            end)
+          pruned;
+        !ok
+      end)
+
+(* ------------------------------------------------------------------- Mst *)
+
+let test_kruskal_diamond () =
+  let g = diamond () in
+  let f = Mst.kruskal g in
+  check Alcotest.int "mst weight" 4 (Graph.edge_set_weight g f);
+  Alcotest.(check bool) "spanning tree" true (Mst.is_spanning_tree g f)
+
+let test_kruskal_path () =
+  let g = Gen.path 7 in
+  check Alcotest.int "path mst weight" 6 (Mst.weight g)
+
+let prop_kruskal_spanning =
+  QCheck.Test.make ~name:"kruskal yields a spanning tree" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen.random_connected (rng seed) ~n:30 ~extra_edges:40 ~max_w:50 in
+      Mst.is_spanning_tree g (Mst.kruskal g))
+
+let prop_kruskal_cut_property =
+  QCheck.Test.make
+    ~name:"no single-edge swap improves kruskal weight" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen.random_connected (rng seed) ~n:12 ~extra_edges:12 ~max_w:30 in
+      let f = Mst.kruskal g in
+      let base = Graph.edge_set_weight g f in
+      (* For every non-tree edge e and tree edge x on the induced cycle,
+         swapping cannot beat base.  Cheap version: adding e and removing any
+         tree edge never improves. *)
+      let ok = ref true in
+      Array.iter
+        (fun (e : Graph.edge) ->
+          if not f.(e.id) then
+            Array.iter
+              (fun (x : Graph.edge) ->
+                if f.(x.id) then begin
+                  let f' = Array.copy f in
+                  f'.(e.id) <- true;
+                  f'.(x.id) <- false;
+                  if
+                    Mst.is_spanning_tree g f'
+                    && Graph.edge_set_weight g f' < base
+                  then ok := false
+                end)
+              (Graph.edges g))
+        (Graph.edges g);
+      !ok)
+
+(* ----------------------------------------------------------------- Exact *)
+
+let test_partitions_bell () =
+  check Alcotest.int "bell 1" 1 (List.length (Exact.partitions [ 1 ]));
+  check Alcotest.int "bell 2" 2 (List.length (Exact.partitions [ 1; 2 ]));
+  check Alcotest.int "bell 3" 5 (List.length (Exact.partitions [ 1; 2; 3 ]));
+  check Alcotest.int "bell 4" 15 (List.length (Exact.partitions [ 1; 2; 3; 4 ]))
+
+let test_steiner_tree_two_terminals () =
+  let g = diamond () in
+  check Alcotest.int "st = shortest path" 2 (Exact.steiner_tree_weight g [ 0; 3 ])
+
+let test_steiner_tree_star () =
+  (* Star hub 0 with unit spokes; terminals three leaves: weight 3 via hub. *)
+  let g = Gen.star 5 in
+  check Alcotest.int "hub tree" 3 (Exact.steiner_tree_weight g [ 1; 2; 3 ])
+
+let test_steiner_tree_single () =
+  let g = diamond () in
+  check Alcotest.int "single terminal" 0 (Exact.steiner_tree_weight g [ 2 ]);
+  check Alcotest.int "no terminal" 0 (Exact.steiner_tree_weight g [])
+
+let test_steiner_forest_separate_cheaper () =
+  (* Two far-apart pairs: forest with two trees beats one spanning tree.
+     Path 0-1-2-3 with heavy middle edge; labels {0,1} and {2,3}. *)
+  let g = Graph.make ~n:4 [ 0, 1, 1; 1, 2, 100; 2, 3, 1 ] in
+  let inst = Instance.make_ic g [| 0; 0; 1; 1 |] in
+  check Alcotest.int "two trees" 2 (Exact.steiner_forest_weight inst)
+
+let test_steiner_forest_sharing_cheaper () =
+  (* Sharing a Steiner node is cheaper than separate trees.
+     Spider: hub 0, legs to 1,2,3,4 of weight 1; labels {1,2} and {3,4}.
+     Separate trees: (1-0-2) = 2 and (3-0-4) = 2 -> total 4 but they share
+     hub edges?  They are disjoint trees needing edges 01,02 and 03,04:
+     total 4.  Optimal = 4. Sanity-check the partition enumeration agrees. *)
+  let g = Gen.star 5 in
+  let inst = Instance.make_ic g [| -1; 0; 0; 1; 1 |] in
+  check Alcotest.int "forest weight" 4 (Exact.steiner_forest_weight inst)
+
+let test_steiner_forest_vs_mst_k1 () =
+  (* k=1 with all nodes terminals = spanning tree: exact forest = MST. *)
+  let g = Gen.random_connected (rng 77) ~n:8 ~extra_edges:8 ~max_w:10 in
+  let inst = Instance.make_ic g (Array.make 8 0) in
+  check Alcotest.int "equals MST" (Mst.weight g) (Exact.steiner_forest_weight inst)
+
+let prop_exact_st_between_bounds =
+  QCheck.Test.make
+    ~name:"steiner tree weight between max pair distance and MST" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let r = rng seed in
+      let g = Gen.random_connected r ~n:12 ~extra_edges:10 ~max_w:10 in
+      let terms =
+        Dsf_util.Rng.sample_without_replacement r 4 12 |> Array.to_list
+      in
+      let w = Exact.steiner_tree_weight g terms in
+      let apsp = Paths.all_pairs g in
+      let max_pair =
+        List.fold_left
+          (fun acc u ->
+            List.fold_left (fun acc v -> max acc apsp.(u).(v)) acc terms)
+          0 terms
+      in
+      w >= max_pair && w <= Mst.weight g)
+
+let suites =
+  [
+    ( "graph.graph",
+      [
+        Alcotest.test_case "basic accessors" `Quick test_graph_basic;
+        Alcotest.test_case "validation" `Quick test_graph_validation;
+        Alcotest.test_case "edge lookup" `Quick test_graph_edges;
+        Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
+        Alcotest.test_case "edge set weight" `Quick test_edge_set_weight;
+      ] );
+    ( "graph.paths",
+      [
+        Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
+        Alcotest.test_case "fewest hops tie-break" `Quick test_dijkstra_prefers_fewer_hops;
+        Alcotest.test_case "shortest path extraction" `Quick test_shortest_path;
+        Alcotest.test_case "bfs" `Quick test_bfs;
+        Alcotest.test_case "bfs multi-source" `Quick test_bfs_multi;
+        Alcotest.test_case "parameters of a path" `Quick test_parameters_path;
+        Alcotest.test_case "parameters weighted cycle" `Quick test_parameters_weighted_cycle;
+        Alcotest.test_case "s exceeds D" `Quick test_s_vs_d_gap;
+        qtest prop_dijkstra_triangle;
+        qtest prop_dijkstra_edge_bound;
+      ] );
+    ( "graph.gen",
+      [
+        Alcotest.test_case "fixed shapes" `Quick test_gen_shapes;
+        Alcotest.test_case "lollipop" `Quick test_gen_lollipop;
+        Alcotest.test_case "random connected" `Quick test_gen_random_connected;
+        Alcotest.test_case "random geometric" `Quick test_gen_geometric;
+        Alcotest.test_case "random labels" `Quick test_gen_labels;
+        Alcotest.test_case "spread labels" `Quick test_gen_spread_labels;
+      ] );
+    ( "graph.instance",
+      [
+        Alcotest.test_case "t/k/k0 counts" `Quick test_instance_counts;
+        Alcotest.test_case "minimalize" `Quick test_instance_minimalize;
+        Alcotest.test_case "feasibility" `Quick test_instance_feasible;
+        Alcotest.test_case "CR to IC (Lemma 2.3)" `Quick test_instance_cr_to_ic;
+        Alcotest.test_case "CR feasibility" `Quick test_cr_feasibility;
+        Alcotest.test_case "prune dangling path" `Quick test_prune_removes_dangling;
+        Alcotest.test_case "prune keeps steiner node" `Quick test_prune_keeps_steiner_node;
+        Alcotest.test_case "prune two components" `Quick test_prune_two_components;
+        qtest prop_prune_minimal_and_feasible;
+      ] );
+    ( "graph.mst",
+      [
+        Alcotest.test_case "kruskal diamond" `Quick test_kruskal_diamond;
+        Alcotest.test_case "kruskal path" `Quick test_kruskal_path;
+        qtest prop_kruskal_spanning;
+        qtest prop_kruskal_cut_property;
+      ] );
+    ( "graph.exact",
+      [
+        Alcotest.test_case "bell numbers" `Quick test_partitions_bell;
+        Alcotest.test_case "ST two terminals" `Quick test_steiner_tree_two_terminals;
+        Alcotest.test_case "ST star" `Quick test_steiner_tree_star;
+        Alcotest.test_case "ST degenerate" `Quick test_steiner_tree_single;
+        Alcotest.test_case "SF separate trees" `Quick test_steiner_forest_separate_cheaper;
+        Alcotest.test_case "SF spider" `Quick test_steiner_forest_sharing_cheaper;
+        Alcotest.test_case "SF k=1 all-terminals = MST" `Quick test_steiner_forest_vs_mst_k1;
+        qtest prop_exact_st_between_bounds;
+      ] );
+  ]

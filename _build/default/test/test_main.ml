@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "dsf"
+    (Test_util.suites @ Test_graph.suites @ Test_congest.suites
+   @ Test_core.suites @ Test_embed.suites @ Test_rand.suites
+   @ Test_baseline.suites @ Test_lower_bound.suites @ Test_extras.suites
+   @ Test_metamorphic.suites @ Test_pruning.suites @ Test_spanner.suites
+   @ Test_mst_baselines.suites @ Test_differential.suites @ Test_fuzz.suites
+   @ Test_routing.suites @ Test_worked_examples.suites @ Test_misc.suites)

@@ -1,0 +1,161 @@
+(* Worked examples: tiny instances whose entire moat-growing execution is
+   derived by hand from Algorithm 1's definitions, pinned merge by merge.
+   These are the strongest regression tests in the repository — any change
+   to event ordering, growth accounting, activity rules or tie-breaking
+   shows up here with an exact diff. *)
+
+open Dsf_graph
+open Dsf_core
+
+let check = Alcotest.check
+let frac = Alcotest.testable Frac.pp Frac.equal
+let half n = Frac.make n 1
+
+(* ------------------------------------------------------------------ (1)
+
+   Path 0-1-2-3, unit weights, one component {0, 3}.
+   Both moats grow at rate 1; they meet when rad0 + rad3 = wd = 3, i.e.
+   after growth mu = 3/2 each.  One merge, dual = 2 * 3/2 = 3 = OPT. *)
+
+let test_single_pair_path () =
+  let g = Gen.path 4 in
+  let inst = Instance.make_ic g [| 0; -1; -1; 0 |] in
+  let res = Moat.run inst in
+  check Alcotest.int "one merge" 1 (List.length res.Moat.merges);
+  let m = List.hd res.Moat.merges in
+  check frac "mu = 3/2" (half 3) m.Moat.mu;
+  check Alcotest.int "4 active moat-sides counted as 2" 2 m.Moat.active_moats;
+  check frac "dual = 3" (Frac.of_int 3) res.Moat.dual;
+  check Alcotest.int "weight = 3" 3 res.Moat.weight;
+  check Alcotest.int "one phase" 1 res.Moat.phase_count;
+  (* Final radii: both terminals grew to exactly 3/2. *)
+  List.iter
+    (fun (v, rad) ->
+      if v = 0 || v = 3 then check frac (Printf.sprintf "rad %d" v) (half 3) rad)
+    res.Moat.final_rad
+
+(* ------------------------------------------------------------------ (2)
+
+   Triangle 0-1-2, unit weights, all three in one component.
+   All pairs have slack 1 at rate 2: first event mu = 1/2, tie broken to
+   the pair (0, 1).  After growing by 1/2 everywhere, pair (0, 2) has
+   slack 1 - 1/2 - 1/2 = 0: second merge at mu = 0.
+   dual = 3 * 1/2 + 2 * 0 = 3/2; output = two unit edges, weight 2 = OPT. *)
+
+let test_triangle () =
+  let g = Gen.cycle 3 in
+  let inst = Instance.make_ic g [| 0; 0; 0 |] in
+  let res = Moat.run inst in
+  check Alcotest.int "two merges" 2 (List.length res.Moat.merges);
+  (match res.Moat.merges with
+  | [ m1; m2 ] ->
+      check frac "mu1 = 1/2" (half 1) m1.Moat.mu;
+      check Alcotest.(pair int int) "pair (0,1)" (0, 1) m1.Moat.pair;
+      check Alcotest.int "3 active moats" 3 m1.Moat.active_moats;
+      check frac "mu2 = 0" Frac.zero m2.Moat.mu;
+      check Alcotest.(pair int int) "pair (0,2)" (0, 2) m2.Moat.pair;
+      check Alcotest.int "2 active moats" 2 m2.Moat.active_moats
+  | _ -> Alcotest.fail "expected exactly two merges");
+  check frac "dual = 3/2" (half 3) res.Moat.dual;
+  check Alcotest.int "weight = 2" 2 res.Moat.weight
+
+(* ------------------------------------------------------------------ (3)
+
+   Path 0-1-2-3-4-5, unit weights, components A = {0,1} and B = {2,5}.
+
+   merge 1: pair (0,1), slack 1 at rate 2 -> mu = 1/2; A becomes lone ->
+            moat {0,1} inactive (activity change: phase 1 ends).
+            act_1 = 4, contribution 4 * 1/2 = 2.
+   merge 2: active {2} meets the frozen moat at wd(1,2) = 1 with
+            rad1 + rad2 = 1 -> slack 0 at rate 1 -> mu = 0; the joint moat
+            carries both labels and {5} still holds B -> it re-activates
+            (phase 2 ends).  act_2 = 2, contribution 0.
+   merge 3: {0,1,2} and {5}, closest pair (2,5): wd = 3, slack
+            3 - 1/2 - 1/2 = 2 at rate 2 -> mu = 1.  act_3 = 2,
+            contribution 2.
+   dual = 4.  The selected forest is 0-1, 1-2, 2-3-4-5; edge 1-2 only
+   connected the merged labels and is pruned: weight 4 = OPT. *)
+
+let test_active_inactive_path () =
+  let g = Gen.path 6 in
+  let inst = Instance.make_ic g [| 0; 0; 1; -1; -1; 1 |] in
+  let res = Moat.run inst in
+  check Alcotest.int "three merges" 3 (List.length res.Moat.merges);
+  (match res.Moat.merges with
+  | [ m1; m2; m3 ] ->
+      check frac "mu1 = 1/2" (half 1) m1.Moat.mu;
+      check Alcotest.(pair int int) "merge 1 = (0,1)" (0, 1) m1.Moat.pair;
+      check Alcotest.int "act1 = 4" 4 m1.Moat.active_moats;
+      Alcotest.(check bool) "phase change after merge 1" true m1.Moat.activity_changed;
+      check frac "mu2 = 0" Frac.zero m2.Moat.mu;
+      check Alcotest.int "act2 = 2" 2 m2.Moat.active_moats;
+      Alcotest.(check bool) "phase change after merge 2" true m2.Moat.activity_changed;
+      check frac "mu3 = 1" Frac.one m3.Moat.mu;
+      check Alcotest.(pair int int) "merge 3 = (2,5)" (2, 5) m3.Moat.pair;
+      check Alcotest.int "act3 = 2" 2 m3.Moat.active_moats
+  | _ -> Alcotest.fail "expected exactly three merges");
+  check frac "dual = 4" (Frac.of_int 4) res.Moat.dual;
+  check Alcotest.int "pruned weight = 4" 4 res.Moat.weight;
+  check Alcotest.int "three phases" 3 res.Moat.phase_count;
+  (* The distributed emulation replays the exact same schedule. *)
+  let det = Det_dsf.run inst in
+  check frac "det dual matches" res.Moat.dual det.Det_dsf.dual;
+  check Alcotest.int "det weight matches" res.Moat.weight det.Det_dsf.weight;
+  (match det.Det_dsf.merges with
+  | [ d1; d2; d3 ] ->
+      check frac "det mu1 increment" (half 1) d1.Det_dsf.mu_increment;
+      check frac "det mu2 increment" Frac.zero d2.Det_dsf.mu_increment;
+      check frac "det mu3 increment" Frac.one d3.Det_dsf.mu_increment
+  | _ -> Alcotest.fail "det: expected three merges")
+
+(* ------------------------------------------------------------------ (4)
+
+   Quartered radii: the denominator really compounds past 1/2.
+
+   Hub construction: terminals a=0, b=1 (component A) both adjacent to a
+   middle node 2 with weights 1 and 2; terminal c=3 (with partner d=4,
+   component B) adjacent to 2 with weight 4, d hanging a weight-9 edge
+   away from c, plus a safety chain making the graph connected only
+   through these edges.
+
+     wd(a,b) = 3 -> A merges at mu = 3/2 and goes inactive with
+     rad_a = rad_b = 3/2 (half-integral).
+     c keeps growing; it meets the frozen moat when
+     rad_c = wd(b,2) + ... the closest frozen terminal is a via 2:
+     wd(a,c) = 5, so slack = 5 - 3/2 - rad_c = 0 at rad_c = 7/2 (rate 1).
+     The reactivated moat {a,b,c} and the lone d (rad 7/2 too) then close
+     wd(c,d) = 9 at rate 2: slack = 9 - 7/2 - 7/2 = 2 -> mu = 1, meeting
+     at rad_c = 9/2.
+     Dual = 4*(3/2) + 2*(2) + 2*(1) = 6 + 4 + 2... act_2 = 2 ({c},{d})
+     with mu_2 = 2: contribution 4; total dual = 6 + 4 + 2 = 12.
+     OPT = (a-2-b: 3) + (c-d: 9) = 12; pruned weight = 12 (edge 2-c
+     pruned away). *)
+
+let test_quartering_radii () =
+  let g =
+    Graph.make ~n:5 [ 0, 2, 1; 1, 2, 2; 2, 3, 4; 3, 4, 9 ]
+  in
+  let inst = Instance.make_ic g [| 0; 0; -1; 1; 1 |] in
+  let res = Moat.run inst in
+  (match res.Moat.merges with
+  | [ m1; m2; m3 ] ->
+      check frac "mu1 = 3/2" (half 3) m1.Moat.mu;
+      check Alcotest.(pair int int) "A merges first" (0, 1) m1.Moat.pair;
+      check frac "mu2 = 2" (Frac.of_int 2) m2.Moat.mu;
+      check frac "mu3 = 1" Frac.one m3.Moat.mu;
+      check Alcotest.(pair int int) "B closes last" (3, 4) m3.Moat.pair
+  | ms ->
+      Alcotest.failf "expected three merges, got %d" (List.length ms));
+  check frac "dual = 12" (Frac.of_int 12) res.Moat.dual;
+  check Alcotest.int "weight = 12 = OPT" 12 res.Moat.weight
+
+let suites =
+  [
+    ( "worked_examples",
+      [
+        Alcotest.test_case "single pair on a path" `Quick test_single_pair_path;
+        Alcotest.test_case "triangle tie-breaking" `Quick test_triangle;
+        Alcotest.test_case "active-inactive schedule" `Quick test_active_inactive_path;
+        Alcotest.test_case "compounding radii" `Quick test_quartering_radii;
+      ] );
+  ]
