@@ -3,7 +3,10 @@
    dune exec bench/main.exe                -- run everything
    dune exec bench/main.exe -- tables      -- per-theorem experiments (E1-E11, F1)
    dune exec bench/main.exe -- ablations   -- design-choice ablations (A1-A4, E12)
-   dune exec bench/main.exe -- micro       -- bechamel microbenchmarks *)
+   dune exec bench/main.exe -- micro       -- bechamel microbenchmarks
+                                              (writes BENCH_sim.json)
+   dune exec bench/main.exe -- smoke       -- fast simulator-only benchmarks
+                                              for CI (writes BENCH_sim.json) *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -12,4 +15,5 @@ let () =
   if what = "all" || what = "tables" then Tables.run_all ();
   if what = "all" || what = "ablations" then Ablations.run_all ();
   if what = "all" || what = "micro" then Micro.run ();
+  if what = "smoke" then Micro.smoke ();
   Format.printf "@.done.@."

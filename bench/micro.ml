@@ -1,13 +1,24 @@
 (* Bechamel wall-clock microbenchmarks: one Test.make per core algorithm
    and substrate, all on a shared medium instance.  These measure the
    *simulator's* execution time (the paper's own metric is rounds, covered
-   by the experiment tables in Tables). *)
+   by the experiment tables in Tables).
+
+   Two layers:
+   - [run] (the `-- micro` mode): the full suite, plus head-to-head
+     active-set vs reference-engine runs of the sparse-activity protocols.
+   - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
+     measurement quota — fast enough for every-PR CI (bin/ci.sh).
+
+   Both modes write BENCH_sim.json (ns/run, minor GC words/run, rounds/s and
+   the active/reference speedups) so later PRs can diff simulator
+   performance against this one. *)
 
 open Bechamel
 open Toolkit
 
 module Gen = Dsf_graph.Gen
 module Inst = Dsf_graph.Instance
+module Sim = Dsf_congest.Sim
 
 let shared_instance =
   lazy
@@ -22,6 +33,83 @@ let small_instance =
      let g = Gen.random_connected r ~n:16 ~extra_edges:12 ~max_w:8 in
      let labels = Gen.random_labels r ~n:16 ~t:6 ~k:2 in
      Inst.make_ic g labels)
+
+(* --------------------------------------------- simulator engine pairs *)
+
+let shared_graph = lazy (Lazy.force shared_instance).Inst.graph
+let path256 = lazy (Gen.path 256)
+
+let shared_tree =
+  lazy (fst (Dsf_congest.Bfs.build (Lazy.force shared_graph) ~root:0))
+
+let in_reference f =
+  Sim.use_reference_engine := true;
+  Fun.protect ~finally:(fun () -> Sim.use_reference_engine := false) f
+
+(* Each case is a sparse-activity CONGEST workload returning its stats; it
+   is benchmarked once on the active-set engine and once on the kept seed
+   loop.  The acceptance metric of the active-set scheduler PR is the
+   speedup column derived from these pairs. *)
+let sim_cases : (string * (unit -> Sim.stats)) list =
+  [
+    ( "bf random n=40",
+      fun () ->
+        snd (Dsf_congest.Bellman_ford.sssp (Lazy.force shared_graph) ~src:0)
+    );
+    ( "bf path n=256",
+      fun () -> snd (Dsf_congest.Bellman_ford.sssp (Lazy.force path256) ~src:0)
+    );
+    ( "upcast n=40",
+      fun () ->
+        snd
+          (Dsf_congest.Tree_ops.upcast (Lazy.force shared_graph)
+             ~tree:(Lazy.force shared_tree)
+             ~items:(fun v -> [ v; v + 100; v + 200 ])
+             ~bits:(fun x -> Dsf_util.Bitsize.int_bits (max 1 x))) );
+    ( "filtered_upcast n=40",
+      fun () ->
+        let g = Lazy.force shared_graph in
+        let items v =
+          Array.to_list (Dsf_graph.Graph.edges g)
+          |> List.filter_map (fun (e : Dsf_graph.Graph.edge) ->
+                 if min e.u e.v = v then
+                   Some { Dsf_congest.Pipeline.key = (e.w, e.id); a = e.u; b = e.v }
+                 else None)
+        in
+        snd
+          (Dsf_congest.Pipeline.filtered_upcast g
+             ~tree:(Lazy.force shared_tree) ~vn:40 ~pre:[] ~items ~cmp:compare
+             ~bits:(fun _ -> 30)) );
+  ]
+
+let sim_tests =
+  List.concat_map
+    (fun (nm, thunk) ->
+      [
+        Test.make
+          ~name:(Printf.sprintf "sim/%s [active]" nm)
+          (Staged.stage (fun () -> ignore (thunk ())));
+        Test.make
+          ~name:(Printf.sprintf "sim/%s [reference]" nm)
+          (Staged.stage (fun () -> ignore (in_reference thunk)));
+      ])
+    sim_cases
+
+(* Rounds per run, for the rounds/s column: one untimed execution per case
+   (both engines execute the same schedule — test_sim_equiv proves it). *)
+let sim_rounds =
+  lazy (List.map (fun (nm, thunk) -> nm, (thunk ()).Sim.rounds) sim_cases)
+
+let rounds_of name =
+  List.find_map
+    (fun (nm, rounds) ->
+      if name = Printf.sprintf "sim/%s [active]" nm
+         || name = Printf.sprintf "sim/%s [reference]" nm
+      then Some rounds
+      else None)
+    (Lazy.force sim_rounds)
+
+(* ------------------------------------------------------- algorithm suite *)
 
 let tests =
   [
@@ -97,27 +185,156 @@ let indexed_tests =
             ignore (Dsf_baseline.Mst_distributed.run (indexed_instance n).Inst.graph)));
   ]
 
+(* ------------------------------------------------------------ measurement *)
+
+type row = {
+  name : string;
+  ns_per_run : float;
+  r2 : float;
+  minor_words : float;
+  rounds_per_run : int option;
+}
+
+let estimate raw witness =
+  let ols =
+    Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+      ~responder:(Measure.label witness)
+      ~predictors:[| Measure.run |]
+      raw.Benchmark.lr
+  in
+  let v =
+    match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+  in
+  v, Option.value ~default:nan (Analyze.OLS.r_square ols)
+
+let measure ~quota tests =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) () in
+  List.concat_map
+    (fun test ->
+      List.map
+        (fun elt ->
+          let raw =
+            Benchmark.run cfg
+              [ Instance.monotonic_clock; Instance.minor_allocated ]
+              elt
+          in
+          let ns, r2 = estimate raw Instance.monotonic_clock in
+          let words, _ = estimate raw Instance.minor_allocated in
+          let name = Test.Elt.name elt in
+          { name; ns_per_run = ns; r2; minor_words = words;
+            rounds_per_run = rounds_of name })
+        (Test.elements test))
+    tests
+
+let print_rows rows =
+  Format.printf "%-42s %14s %10s %12s %12s@." "benchmark" "ns/run" "r^2"
+    "words/run" "rounds/s";
+  List.iter
+    (fun r ->
+      let rps =
+        match r.rounds_per_run with
+        | Some rounds when r.ns_per_run > 0. ->
+            Printf.sprintf "%.3e" (float_of_int rounds *. 1e9 /. r.ns_per_run)
+        | _ -> "-"
+      in
+      Format.printf "%-42s %14.0f %10.3f %12.0f %12s@." r.name r.ns_per_run
+        r.r2 r.minor_words rps)
+    rows
+
+(* Active/reference pairs -> measured speedups. *)
+type speedup = { workload : string; active_ns : float; reference_ns : float }
+
+let speedups rows =
+  List.filter_map
+    (fun (nm, _) ->
+      let find suffix =
+        List.find_opt
+          (fun r -> r.name = Printf.sprintf "sim/%s [%s]" nm suffix)
+          rows
+      in
+      match find "active", find "reference" with
+      | Some a, Some r ->
+          Some { workload = nm; active_ns = a.ns_per_run;
+                 reference_ns = r.ns_per_run }
+      | _ -> None)
+    sim_cases
+
+let print_speedups sp =
+  Format.printf "@.%-42s %14s %14s %9s@." "active-set speedup" "active ns"
+    "reference ns" "x";
+  List.iter
+    (fun s ->
+      Format.printf "%-42s %14.0f %14.0f %9.2f@." s.workload s.active_ns
+        s.reference_ns (s.reference_ns /. s.active_ns))
+    sp
+
+(* ------------------------------------------------------------------ JSON *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
+  else Printf.sprintf "%.1f" x
+
+let write_json ~mode rows sp path =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"schema\": \"dsf-bench-sim/1\",\n  \"mode\": %S,\n" mode;
+  p "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      let rounds, rps =
+        match r.rounds_per_run with
+        | Some rounds when r.ns_per_run > 0. ->
+            ( string_of_int rounds,
+              json_float (float_of_int rounds *. 1e9 /. r.ns_per_run) )
+        | _ -> "null", "null"
+      in
+      p
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s, \
+         \"minor_words_per_run\": %s, \"rounds_per_run\": %s, \
+         \"rounds_per_sec\": %s}%s\n"
+        (json_escape r.name) (json_float r.ns_per_run) (json_float r.r2)
+        (json_float r.minor_words) rounds rps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n  \"speedups\": [\n";
+  List.iteri
+    (fun i s ->
+      p
+        "    {\"workload\": \"%s\", \"active_ns\": %s, \"reference_ns\": %s, \
+         \"speedup\": %s}%s\n"
+        (json_escape s.workload) (json_float s.active_ns)
+        (json_float s.reference_ns)
+        (json_float (s.reference_ns /. s.active_ns))
+        (if i = List.length sp - 1 then "" else ","))
+    sp;
+  p "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ modes *)
+
 let run () =
   Format.printf "@.=== Bechamel wall-clock microbenchmarks ===@.";
-  Format.printf "%-38s %14s %10s@." "benchmark" "ns/run" "r^2";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
-          let ols =
-            Analyze.OLS.ols ~bootstrap:0 ~r_square:true
-              ~responder:(Measure.label Instance.monotonic_clock)
-              ~predictors:[| Measure.run |]
-              raw.Benchmark.lr
-          in
-          let ns =
-            match Analyze.OLS.estimates ols with
-            | Some (x :: _) -> x
-            | _ -> nan
-          in
-          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
-          Format.printf "%-38s %14.0f %10.3f@." (Test.Elt.name elt) ns r2)
-        (Test.elements test))
-    (tests @ indexed_tests)
+  let rows = measure ~quota:0.5 (tests @ sim_tests @ indexed_tests) in
+  print_rows rows;
+  let sp = speedups rows in
+  print_speedups sp;
+  write_json ~mode:"micro" rows sp "BENCH_sim.json"
+
+let smoke () =
+  Format.printf "@.=== Simulator smoke benchmarks (CI) ===@.";
+  let rows = measure ~quota:0.05 sim_tests in
+  print_rows rows;
+  let sp = speedups rows in
+  print_speedups sp;
+  write_json ~mode:"smoke" rows sp "BENCH_sim.json"

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Per-PR check: build, full test suite (including the simulator
+# differential suite), and the fast simulator benchmark smoke path so the
+# bench harness and BENCH_sim.json emission are exercised on every change.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- smoke

@@ -87,6 +87,9 @@ let run ?weight_of ?radius ?max_rounds g ~sources =
           Bitsize.int_bits (max 1 r.dist)
           + Bitsize.id_bits ~n
           + Bitsize.int_bits (max 1 r.hops));
+      (* Purely wavefront-driven: a clean node with no mail has nothing to
+         do, so the simulator may skip it. *)
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run ?max_rounds g proto in

@@ -56,6 +56,9 @@ let build g ~root =
           | _ -> st, []);
       is_done = (fun st -> st.parent <> None && st.announced);
       msg_bits = (fun (Join d) -> Bitsize.int_bits (max d 1));
+      (* Unreached nodes are not done; reached-and-announced nodes only
+         react to mail. *)
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in

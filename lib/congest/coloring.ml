@@ -118,6 +118,7 @@ let three_color g ~parent =
           else { st with finished = true }, []);
       is_done = (fun st -> st.finished);
       msg_bits = (fun _ -> Bitsize.int_bits 8);
+      wake = None;
     }
   in
   let states, stats = Sim.run g proto in
@@ -189,6 +190,7 @@ let maximal_matching g ~parent =
           { st with m_done = round >= 7 }, accept_out @ propose_out);
       is_done = (fun st -> st.m_done);
       msg_bits = (fun _ -> 2);
+      wake = None;
     }
   in
   let states, stats = Sim.run g proto in

@@ -31,6 +31,7 @@ let gossip_extremum g ~mask ~values ~better ~bits =
           | _ -> { st with dirty = false }, []);
       is_done = (fun st -> not st.dirty);
       msg_bits = bits;
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in

@@ -13,6 +13,7 @@ let all_neighbors g ~payload_bits =
               |> List.map (fun (nb, _, _) -> nb, ()) ));
       is_done = Fun.id;
       msg_bits = (fun () -> payload_bits);
+      wake = Some Sim.never;
     }
   in
   let _, stats = Sim.run g proto in

@@ -29,6 +29,7 @@ let elect g =
           else st, []);
       is_done = (fun st -> not st.dirty);
       msg_bits = (fun _ -> Bitsize.id_bits ~n);
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in

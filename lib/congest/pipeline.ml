@@ -143,6 +143,11 @@ let filtered_upcast ?stop_at_root g ~(tree : Bfs.tree) ~vn ~pre ~items ~cmp
           && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) st.queues true);
       msg_bits =
         (function Item it -> bits it | Done -> 1);
+      (* A drained node still owes its parent a [Done] one round after its
+         last item, which [is_done] does not capture — so wake on
+         [not sent_done] (the root never closes its stream and simply
+         no-ops; every other silent configuration is mail-driven). *)
+      wake = Some (fun _ ~round:_ st -> not st.sent_done);
     }
   in
   let halt =

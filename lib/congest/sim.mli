@@ -13,6 +13,24 @@
     messages to the same neighbor in one round is allowed but both count
     against that edge-round's bit total.
 
+    {2 The active-set scheduler}
+
+    The paper's protocols are round-efficient precisely because most nodes
+    are silent in most rounds (Bellman-Ford wavefronts, pipelined upcasts),
+    so {!run} only steps the nodes that can act: in round [r] a node is
+    stepped iff its inbox is non-empty, it does not report [is_done], or its
+    [wake] hook returns [true].  A protocol with [wake = None] is stepped
+    every round — exactly the original simulator's schedule.  A protocol
+    that declares a sparse [wake] (e.g. [Some never]) promises that stepping
+    a done node with an empty inbox is a no-op: it returns a structurally
+    equal state and an empty outbox.  Under that contract, {!run} and
+    {!run_reference} produce identical stats, observer traces, and final
+    states — the property suite [test_sim_equiv] checks this differentially
+    on randomized graphs and protocols.
+
+    [is_done] and [wake] must be pure functions of the state (and view /
+    round): [is_done] is re-evaluated only when a step changes the state.
+
     Composition convention: the paper's algorithms are towers of subroutines,
     each with its own round bound (Bellman-Ford phases, pipelined upcasts,
     BFS-tree broadcasts).  We simulate each subroutine for real and add up
@@ -35,6 +53,14 @@ type ('s, 'm) protocol = {
           returns the new state and the outbox of (neighbor, message). *)
   is_done : 's -> bool;
   msg_bits : 'm -> int;
+  wake : (view -> round:int -> 's -> bool) option;
+      (** Scheduling hook. [None]: step the node every round (the default
+          behavior protocols get if they have no sparse-activity story).
+          [Some f]: the node is stepped in a round iff it received a message,
+          is not [is_done], or [f] returns [true] — use [Some never] for
+          purely message/progress-driven protocols, or a round predicate
+          (e.g. [fun _ ~round _ -> round = 0]) for clock-driven kick-offs.
+          Only consulted for nodes that are idle by the first two tests. *)
 }
 
 type stats = {
@@ -48,6 +74,10 @@ type stats = {
 }
 
 exception Round_limit of int
+
+val never : view -> round:int -> 's -> bool
+(** [never] ignores its arguments and returns [false]: the canonical [wake]
+    for protocols whose activity is entirely message- or progress-driven. *)
 
 val set_observer : (src:int -> dst:int -> bits:int -> unit) option -> unit
 (** Install a global message observer: called for every message any
@@ -66,14 +96,34 @@ val run :
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
-(** Runs the protocol to quiescence.  Default [max_rounds] is
-    [10_000 + 200 * n]; raises {!Round_limit} if exceeded (a protocol bug).
-    Messages produced in round [r] are delivered in round [r + 1].
+(** Runs the protocol to quiescence on the active-set engine.  Default
+    [max_rounds] is [10_000 + 200 * n]; raises {!Round_limit} if exceeded
+    (a protocol bug).  Messages produced in round [r] are delivered in
+    round [r + 1].
 
     [halt] is an omniscient early-termination predicate evaluated on the
     state vector after every round; when it fires the run stops immediately.
     It models a coordinator aborting a subroutine ("the root detects X and
     broadcasts stop"): the caller is responsible for charging the O(D)
     stop-broadcast to its round ledger. *)
+
+val run_reference :
+  ?max_rounds:int ->
+  ?halt:('s array -> bool) ->
+  Dsf_graph.Graph.t ->
+  ('s, 'm) protocol ->
+  's array * stats
+(** The original (seed) simulator loop, kept as the semantic anchor: steps
+    every node every round and ignores [wake].  Differential tests assert
+    {!run} matches it exactly; it is also the baseline leg of the
+    [bench/main.exe -- micro] simulator benchmarks.  Not for production
+    use — it pays O(n + m) per round regardless of activity. *)
+
+val use_reference_engine : bool ref
+(** Test/benchmark instrumentation: while [true], {!run} delegates to
+    {!run_reference}.  Lets the differential suite and the microbenchmarks
+    drive whole algorithm entry points (e.g. {!Bellman_ford.sssp}) through
+    both engines without threading an engine parameter through every
+    caller.  Never set this in library code; reset it with [Fun.protect]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

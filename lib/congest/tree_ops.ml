@@ -28,6 +28,7 @@ let upcast g ~(tree : Bfs.tree) ~items ~bits =
           end);
       is_done = (fun st -> st.pending = []);
       msg_bits = bits;
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in
@@ -81,6 +82,7 @@ let upcast_dedup ?(per_key = 1) g ~(tree : Bfs.tree) ~items ~key ~bits =
           end);
       is_done = (fun st -> st.d_pending = []);
       msg_bits = bits;
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in
@@ -142,6 +144,9 @@ let upcast_sequential g ~(tree : Bfs.tree) ~items ~bits =
           end);
       is_done = (fun st -> st.departures = []);
       msg_bits = bits;
+      (* Scheduled departures keep the node not-done until they are sent, so
+         progress-driven waking suffices even for this clock-driven variant. *)
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in
@@ -179,6 +184,7 @@ let broadcast g ~(tree : Bfs.tree) ~items ~bits =
               { st with to_send = rest }, outbox);
       is_done = (fun st -> st.to_send = []);
       msg_bits = bits;
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in
@@ -219,6 +225,9 @@ let aggregate g ~(tree : Bfs.tree) ~value ~combine ~bits =
          non-root alike. *)
       is_done = (fun st -> st.waiting = 0);
       msg_bits = bits;
+      (* Leaves start with [waiting = 0] (already "done") but must still fire
+         their report in round 0; afterwards everything is mail-driven. *)
+      wake = Some (fun _ ~round _ -> round = 0);
     }
   in
   let states, stats = Sim.run g proto in

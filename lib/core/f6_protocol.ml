@@ -59,6 +59,7 @@ let mark_phase g ~parent ~labels =
               else { st with pending = rest }, []);
       is_done = (fun st -> st.pending = []);
       msg_bits = (fun _ -> Bitsize.id_bits ~n:(Graph.n g));
+      wake = None;
     }
   in
   Sim.run g proto
@@ -147,6 +148,7 @@ let unmark_phase g ~parent ~labels ~mark_states =
         (fun st ->
           Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) st.queues true);
       msg_bits = (fun _ -> Bitsize.id_bits ~n:(Graph.n g));
+      wake = None;
     }
   in
   Sim.run g proto

@@ -71,6 +71,7 @@ let route_phase g vt ~origins =
           dispatch st);
       is_done = (fun st -> st.unsent = []);
       msg_bits = (fun _ -> 2 * Bitsize.id_bits ~n);
+      wake = None;
     }
   in
   Sim.run g proto
@@ -117,6 +118,7 @@ let backtrace_phase g ~tables ~bundles =
           dispatch st);
       is_done = (fun st -> st.b_queue = []);
       msg_bits = (fun _ -> 3 * Bitsize.id_bits ~n);
+      wake = None;
     }
   in
   Sim.run g proto

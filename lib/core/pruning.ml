@@ -282,6 +282,7 @@ let label_flood g ~tree ~structure ~initial =
                  acc && Hashtbl.mem st.shadow.lc (c, lam))
                st.mine.lc true);
       msg_bits = (fun _ -> 2 * Bitsize.id_bits ~n);
+      wake = None;
     }
   in
   let states, stats = Sim.run g proto in

@@ -105,6 +105,9 @@ let run g ~sources ~frozen =
           + Bitsize.int_bits (max 1 r.dist.Frac.den_pow)
           + Bitsize.id_bits ~n
           + Bitsize.int_bits (max 1 r.hops));
+      (* Same wavefront discipline as {!Dsf_congest.Bellman_ford}: frozen,
+         pinned-and-announced, and clean nodes all no-op without mail. *)
+      wake = Some Sim.never;
     }
   in
   let states, stats = Sim.run g proto in

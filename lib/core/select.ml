@@ -29,6 +29,7 @@ let token_flood g ~parent ~seeds =
           else { st with forwarded = st.forwarded || st.pending }, []);
       is_done = (fun st -> (not st.pending) || st.forwarded);
       msg_bits = (fun () -> 1);
+      wake = None;
     }
   in
   let states, stats = Sim.run g proto in

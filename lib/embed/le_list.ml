@@ -133,6 +133,7 @@ let build rng g =
         (fun (Announce a) ->
           Bitsize.id_bits ~n + Bitsize.int_bits (max 1 a.dist)
           + Bitsize.id_bits ~n);
+      wake = None;
     }
   in
   let states, stats = Sim.run g proto in

@@ -30,6 +30,7 @@ let flood_protocol root : (flood_state, unit) Sim.protocol =
         else st, []);
     is_done = (fun st -> st.heard <> None && st.relayed);
     msg_bits = (fun () -> 1);
+    wake = Some Sim.never;
   }
 
 let test_sim_flood_rounds () =
@@ -56,6 +57,7 @@ let test_sim_rejects_non_neighbor () =
           if view.Sim.node = 0 && round = 0 then st, [ 2, () ] else st, []);
       is_done = (fun () -> true);
       msg_bits = (fun () -> 1);
+      wake = None;
     }
   in
   Alcotest.check_raises "non-neighbor send"
@@ -72,6 +74,7 @@ let test_sim_round_limit () =
           st, Array.to_list view.Sim.nbrs |> List.map (fun (nb, _, _) -> nb, ()));
       is_done = (fun () -> true);
       msg_bits = (fun () -> 1);
+      wake = None;
     }
   in
   (match Sim.run ~max_rounds:10 g chatty with
@@ -88,6 +91,7 @@ let test_sim_bit_accounting () =
           if not sent then true, [ 1, () ] else true, []);
       is_done = Fun.id;
       msg_bits = (fun () -> 7);
+      wake = None;
     }
   in
   let _, stats = Sim.run g once in

@@ -1,0 +1,266 @@
+(* Differential tests for the active-set simulator: Sim.run (skip idle
+   nodes, flat-array accounting, incremental done-count) must be
+   observationally identical to Sim.run_reference (the seed loop that steps
+   every node every round) — same stats, same final states, same results —
+   on randomized graphs and the protocols that declare sparse wake-ups. *)
+
+open Dsf_graph
+open Dsf_congest
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let rng seed = Dsf_util.Rng.create seed
+
+let with_reference f =
+  Sim.use_reference_engine := true;
+  Fun.protect ~finally:(fun () -> Sim.use_reference_engine := false) f
+
+(* Run the same closure through both engines and hand back both results.
+   The closure must be deterministic (all our protocols are). *)
+let both f = f (), with_reference f
+
+let stats_eq (a : Sim.stats) (b : Sim.stats) = a = b
+
+let random_graph seed =
+  let r = rng seed in
+  let n = 8 + Dsf_util.Rng.int r 20 in
+  let extra = Dsf_util.Rng.int r (2 * n) in
+  let max_w = 1 + Dsf_util.Rng.int r 12 in
+  Gen.random_connected r ~n ~extra_edges:extra ~max_w
+
+(* ------------------------------------------------------------- raw protos *)
+
+(* The unit-suite flood protocol, with a sparse wake: exercises run vs
+   run_reference directly (not through the engine flag). *)
+type flood_state = { heard : int option; relayed : bool }
+
+let flood_protocol root : (flood_state, unit) Sim.protocol =
+  {
+    init =
+      (fun view ->
+        if view.Sim.node = root then { heard = Some 0; relayed = false }
+        else { heard = None; relayed = false });
+    step =
+      (fun view ~round st ~inbox ->
+        let st =
+          match st.heard, inbox with
+          | None, _ :: _ -> { st with heard = Some round }
+          | _ -> st
+        in
+        if st.heard <> None && not st.relayed then
+          ( { st with relayed = true },
+            Array.to_list view.Sim.nbrs |> List.map (fun (nb, _, _) -> nb, ()) )
+        else st, []);
+    is_done = (fun st -> st.heard <> None && st.relayed);
+    msg_bits = (fun () -> 1);
+    wake = Some Sim.never;
+  }
+
+let prop_flood_equiv =
+  QCheck.Test.make ~name:"run = run_reference (flood, sparse wake)" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      let s1, t1 = Sim.run g (flood_protocol root) in
+      let s2, t2 = Sim.run_reference g (flood_protocol root) in
+      s1 = s2 && stats_eq t1 t2)
+
+(* ------------------------------------------------- library entry points *)
+
+let prop_bellman_ford_equiv =
+  QCheck.Test.make ~name:"run = run_reference (Bellman-Ford Voronoi)"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 1) in
+      let k = 1 + Dsf_util.Rng.int r 3 in
+      let sources =
+        List.init k (fun _ ->
+            Dsf_util.Rng.int r n, Dsf_util.Rng.int r 5)
+      in
+      let (res1, t1), (res2, t2) =
+        both (fun () -> Bellman_ford.run g ~sources)
+      in
+      res1 = res2 && stats_eq t1 t2)
+
+let prop_pipeline_equiv =
+  QCheck.Test.make
+    ~name:"run = run_reference (pipelined filtered upcast)" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 2) in
+      let tree = fst (Bfs.build g ~root:(Dsf_util.Rng.int r n)) in
+      let vn = 10 in
+      let items_all =
+        List.init 20 (fun i ->
+            let a = Dsf_util.Rng.int r vn and b = Dsf_util.Rng.int r vn in
+            if a = b then None
+            else Some (Dsf_util.Rng.int r n, { Pipeline.key = i; a; b }))
+        |> List.filter_map Fun.id
+      in
+      let items v =
+        List.filter (fun (h, _) -> h = v) items_all |> List.map snd
+      in
+      let (acc1, t1), (acc2, t2) =
+        both (fun () ->
+            Pipeline.filtered_upcast g ~tree ~vn ~pre:[] ~items ~cmp:compare
+              ~bits:(fun _ -> 16))
+      in
+      acc1 = acc2 && stats_eq t1 t2)
+
+let prop_tree_ops_equiv =
+  QCheck.Test.make
+    ~name:"run = run_reference (upcast / broadcast / aggregate)" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let tree = fst (Bfs.build g ~root:(seed mod n)) in
+      let bits x = Dsf_util.Bitsize.int_bits (max 1 x) in
+      let (up1, ut1), (up2, ut2) =
+        both (fun () ->
+            Tree_ops.upcast g ~tree ~items:(fun v -> [ v; v + n ]) ~bits)
+      in
+      let (bc1, bt1), (bc2, bt2) =
+        both (fun () ->
+            Tree_ops.broadcast g ~tree ~items:[ 1; 2; 3 ] ~bits)
+      in
+      let (ag1, at1), (ag2, at2) =
+        both (fun () ->
+            Tree_ops.aggregate g ~tree ~value:Fun.id ~combine:( + ) ~bits)
+      in
+      up1 = up2 && stats_eq ut1 ut2
+      && bc1 = bc2 && stats_eq bt1 bt2
+      && ag1 = ag2 && stats_eq at1 at2)
+
+let prop_bfs_leader_exchange_equiv =
+  QCheck.Test.make
+    ~name:"run = run_reference (BFS / leader / exchange)" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let (tr1, bt1), (tr2, bt2) =
+        both (fun () -> Bfs.build g ~root:(seed mod Graph.n g))
+      in
+      let le1, le2 = both (fun () -> Leader.elect g) in
+      let ex1, ex2 =
+        both (fun () -> Exchange.all_neighbors g ~payload_bits:9)
+      in
+      tr1 = tr2 && stats_eq bt1 bt2 && le1 = le2 && stats_eq ex1 ex2)
+
+(* --------------------------------------------------------------- corners *)
+
+let test_single_node () =
+  let g = Graph.make ~n:1 [] in
+  let (s1, t1), (s2, t2) = both (fun () -> Sim.run g (flood_protocol 0)) in
+  ignore s1;
+  ignore s2;
+  check Alcotest.int "rounds" t2.Sim.rounds t1.Sim.rounds;
+  Alcotest.(check bool) "stats equal" true (stats_eq t1 t2)
+
+let test_round_limit_equiv () =
+  (* Both engines must hit Round_limit at the same round on a protocol that
+     never quiesces. *)
+  let g = Gen.path 3 in
+  let chatty : (unit, unit) Sim.protocol =
+    {
+      init = (fun _ -> ());
+      step =
+        (fun view ~round:_ st ~inbox:_ ->
+          st, Array.to_list view.Sim.nbrs |> List.map (fun (nb, _, _) -> nb, ()));
+      is_done = (fun () -> true);
+      msg_bits = (fun () -> 1);
+      wake = None;
+    }
+  in
+  let limit_of run =
+    match run () with
+    | exception Sim.Round_limit r -> r
+    | _ -> -1
+  in
+  let active = limit_of (fun () -> Sim.run ~max_rounds:7 g chatty) in
+  let reference =
+    limit_of (fun () -> Sim.run_reference ~max_rounds:7 g chatty)
+  in
+  check Alcotest.int "same limit" reference active;
+  check Alcotest.int "limit is 7" 7 active
+
+let test_halt_equiv () =
+  let g = Gen.path 4 in
+  let counting : (int, unit) Sim.protocol =
+    {
+      init = (fun _ -> 0);
+      step =
+        (fun view ~round:_ c ~inbox:_ ->
+          ( c + 1,
+            Array.to_list view.Sim.nbrs |> List.map (fun (nb, _, _) -> nb, ()) ));
+      is_done = (fun _ -> false);
+      msg_bits = (fun () -> 1);
+      wake = None;
+    }
+  in
+  let halt sts = sts.(0) >= 4 in
+  let (s1, t1), (s2, t2) = both (fun () -> Sim.run ~halt g counting) in
+  check Alcotest.(array int) "states" s2 s1;
+  Alcotest.(check bool) "stats equal" true (stats_eq t1 t2)
+
+let test_scheduler_skips_idle () =
+  (* A protocol that is done from the start and never sends: with a sparse
+     wake the active-set engine must not step anyone (states stay at init),
+     while the reference engine steps everyone once.  Stats agree anyway —
+     this is exactly the contract boundary the [wake] docs describe. *)
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let lazybones : (int, unit) Sim.protocol =
+    {
+      init = (fun _ -> 0);
+      step = (fun _ ~round:_ c ~inbox:_ -> c + 1, []);
+      is_done = (fun _ -> true);
+      msg_bits = (fun () -> 1);
+      wake = Some Sim.never;
+    }
+  in
+  let s_active, t_active = Sim.run g lazybones in
+  let s_ref, t_ref = Sim.run_reference g lazybones in
+  Array.iter (fun c -> check Alcotest.int "never stepped" 0 c) s_active;
+  Array.iter (fun c -> check Alcotest.int "stepped once" 1 c) s_ref;
+  Alcotest.(check bool) "stats still equal" true (stats_eq t_active t_ref)
+
+let test_observer_order_identical () =
+  (* The observer must see the same (src, dst, bits) sequence from both
+     engines — traces and cut meters rely on it. *)
+  let g = random_graph 424_242 in
+  let record f =
+    let log = ref [] in
+    Sim.with_observer
+      (fun ~src ~dst ~bits -> log := (src, dst, bits) :: !log)
+      (fun () -> ignore (f ()));
+    List.rev !log
+  in
+  let l1 = record (fun () -> Bellman_ford.sssp g ~src:0) in
+  let l2 =
+    record (fun () -> with_reference (fun () -> Bellman_ford.sssp g ~src:0))
+  in
+  check Alcotest.int "same length" (List.length l2) (List.length l1);
+  Alcotest.(check bool) "same sequence" true (l1 = l2)
+
+let suites =
+  [
+    ( "congest.sim_equiv",
+      [
+        qtest prop_flood_equiv;
+        qtest prop_bellman_ford_equiv;
+        qtest prop_pipeline_equiv;
+        qtest prop_tree_ops_equiv;
+        qtest prop_bfs_leader_exchange_equiv;
+        Alcotest.test_case "single node" `Quick test_single_node;
+        Alcotest.test_case "round limit" `Quick test_round_limit_equiv;
+        Alcotest.test_case "halt hook" `Quick test_halt_equiv;
+        Alcotest.test_case "skips idle nodes" `Quick test_scheduler_skips_idle;
+        Alcotest.test_case "observer order" `Quick test_observer_order_identical;
+      ] );
+  ]
