@@ -10,6 +10,7 @@ module Exact = Dsf_graph.Exact
 module Ledger = Dsf_congest.Ledger
 module Stats = Dsf_util.Stats
 module Rng = Dsf_util.Rng
+module Pool = Dsf_util.Pool
 
 let header title claim =
   Format.printf "@.=== %s ===@.question: %s@." title claim
@@ -52,37 +53,39 @@ let a1 () =
 
 (* ------------------------------------------------------------------- A2 *)
 
-let a2 () =
+let a2 ~jobs () =
   header "A2 (repetition amplification)"
     "how much does re-running the randomized first stage improve the solution (Markov amplification)?";
   Format.printf "%6s %14s %14s %14s@." "reps" "mean ratio" "max ratio"
     "mean rounds";
-  let seeds = List.init 10 (fun i -> 2000 + i) in
+  (* Instance construction (exact-OPT DP per seed) and each reps-row's
+     10-instance sweep fan out on the domain pool, in input order. *)
   let instances =
-    List.map
+    Pool.map_chunked ~jobs
       (fun seed ->
         let r = Rng.create seed in
         let g = Gen.random_connected r ~n:30 ~extra_edges:25 ~max_w:10 in
         let labels = Gen.random_labels r ~n:30 ~t:8 ~k:3 in
         let inst = Instance.make_ic g labels in
         inst, Exact.steiner_forest_weight inst)
-      seeds
+      (Array.init 10 (fun i -> 2000 + i))
   in
   let means = ref [] in
   List.iter
     (fun reps ->
       let ratios, rounds =
         List.split
-          (List.mapi
-             (fun i (inst, opt) ->
-               let res =
-                 Dsf_core.Rand_dsf.run ~repetitions:reps
-                   ~rng:(Rng.create (3000 + i))
-                   inst
-               in
-               ( float_of_int res.Dsf_core.Rand_dsf.weight /. float_of_int opt,
-                 float_of_int (Ledger.total res.Dsf_core.Rand_dsf.ledger) ))
-             instances)
+          (Array.to_list
+             (Pool.map_chunked ~jobs
+                (fun (i, (inst, opt)) ->
+                  let res =
+                    Dsf_core.Rand_dsf.run ~repetitions:reps
+                      ~rng:(Rng.create (3000 + i))
+                      inst
+                  in
+                  ( float_of_int res.Dsf_core.Rand_dsf.weight /. float_of_int opt,
+                    float_of_int (Ledger.total res.Dsf_core.Rand_dsf.ledger) ))
+                (Array.mapi (fun i inst -> i, inst) instances)))
       in
       let _, hi = Stats.min_max ratios in
       means := Stats.mean ratios :: !means;
@@ -214,6 +217,9 @@ let e12 () =
 
 (* ------------------------------------------------------------------- A5 *)
 
+(* A5 records traffic through the global observer shim (Trace.record /
+   Sim.with_observer), so it must stay on one domain — never hand it to
+   the pool.  See the domain-safety contract in lib/congest/sim.mli. *)
 let a5 () =
   header "A5 (node congestion)"
     "does any node become a traffic hotspot?  max per-node traffic should stay within polylog of the average";
@@ -255,42 +261,50 @@ let a5 () =
 
 (* ------------------------------------------------------------------ E13 *)
 
-let e13 () =
+let e13 ~jobs () =
   header "E13 (related work: MST is Theta~(D + sqrt n))"
     "the GKP-style MST (fragments + pipelined filter) scales ~sqrt n while the naive pipelined MST scales ~n";
   Format.printf "%6s %6s %12s %14s %12s@." "n" "D" "GKP rounds"
     "pipelined rounds" "fragments";
   let pts_gkp = ref [] and pts_plain = ref [] in
   let exact = ref true in
-  List.iter
-    (fun n ->
-      let r = Rng.create (1500 + n) in
-      let g = Gen.random_connected r ~n ~extra_edges:n ~max_w:40 in
-      let gkp = Dsf_baseline.Mst_gkp.run g in
-      let plain = Dsf_baseline.Mst_distributed.run g in
+  (* Both MSTs per size on the pool; the n=400 point dominates, so this
+     sweep mostly buys overlap of the smaller sizes with it. *)
+  let rows =
+    Pool.map_chunked ~jobs
+      (fun n ->
+        let r = Rng.create (1500 + n) in
+        let g = Gen.random_connected r ~n ~extra_edges:n ~max_w:40 in
+        let gkp = Dsf_baseline.Mst_gkp.run g in
+        let plain = Dsf_baseline.Mst_distributed.run g in
+        let d = Dsf_graph.Paths.diameter_unweighted g in
+        n, g, gkp, plain, d)
+      [| 64; 144; 256; 400 |]
+  in
+  Array.iter
+    (fun (n, g, gkp, plain, d) ->
       if
         gkp.Dsf_baseline.Mst_gkp.weight <> Dsf_graph.Mst.weight g
         || plain.Dsf_baseline.Mst_distributed.weight <> Dsf_graph.Mst.weight g
       then exact := false;
-      let d = Dsf_graph.Paths.diameter_unweighted g in
       let gr = Ledger.total gkp.Dsf_baseline.Mst_gkp.ledger in
       let pr = plain.Dsf_baseline.Mst_distributed.rounds in
       Format.printf "%6d %6d %12d %14d %12d@." n d gr pr
         gkp.Dsf_baseline.Mst_gkp.fragments_after_phase1;
       pts_gkp := (float_of_int n, float_of_int gr) :: !pts_gkp;
       pts_plain := (float_of_int n, float_of_int pr) :: !pts_plain)
-    [ 64; 144; 256; 400 ];
+    rows;
   let sg = Stats.loglog_slope !pts_gkp and sp = Stats.loglog_slope !pts_plain in
   Format.printf
     "log-log slope rounds-vs-n: GKP=%.2f (~0.5 expected) pipelined=%.2f (~1 expected); both exact=%b@."
     sg sp !exact;
   verdict "E13" (!exact && sg < 0.75 && sp > 0.85)
 
-let run_all () =
+let run_all ~jobs () =
   a1 ();
-  a2 ();
+  a2 ~jobs ();
   a3 ();
   a4 ();
   a5 ();
   e12 ();
-  e13 ()
+  e13 ~jobs ()

@@ -6,14 +6,45 @@
    dune exec bench/main.exe -- micro       -- bechamel microbenchmarks
                                               (writes BENCH_sim.json)
    dune exec bench/main.exe -- smoke       -- fast simulator-only benchmarks
-                                              for CI (writes BENCH_sim.json) *)
+                                              for CI (writes BENCH_sim.json)
+
+   Options (after the mode):
+     --jobs N, -j N   domains for the pooled sweeps and trial fan-outs
+                      (default: recommended domain count, capped); results
+                      are identical for every N — only wall time changes
+     --out PATH       where micro/smoke write their JSON
+                      (default BENCH_sim.json; CI uses a scratch path) *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [all|tables|ablations|micro|smoke] [--jobs N] [--out PATH]";
+  exit 2
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let argc = Array.length Sys.argv in
+  let has_mode = argc > 1 && String.length Sys.argv.(1) > 0 && Sys.argv.(1).[0] <> '-' in
+  let what = if has_mode then Sys.argv.(1) else "all" in
+  let jobs = ref (Dsf_util.Pool.default_jobs ()) in
+  let out = ref "BENCH_sim.json" in
+  let i = ref (if has_mode then 2 else 1) in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | ("--jobs" | "-j") when !i + 1 < argc ->
+        incr i;
+        jobs := (try int_of_string Sys.argv.(!i) with Failure _ -> usage ())
+    | "--out" when !i + 1 < argc ->
+        incr i;
+        out := Sys.argv.(!i)
+    | _ -> usage ());
+    incr i
+  done;
+  let jobs = max 1 !jobs and out = !out in
   Format.printf
     "Distributed Steiner Forest — experiment harness (Lenzen & Patt-Shamir, PODC 2014)@.";
-  if what = "all" || what = "tables" then Tables.run_all ();
-  if what = "all" || what = "ablations" then Ablations.run_all ();
-  if what = "all" || what = "micro" then Micro.run ();
-  if what = "smoke" then Micro.smoke ();
+  Format.printf "jobs=%d (recommended domains: %d)@." jobs
+    (Domain.recommended_domain_count ());
+  if what = "all" || what = "tables" then Tables.run_all ~jobs ();
+  if what = "all" || what = "ablations" then Ablations.run_all ~jobs ();
+  if what = "all" || what = "micro" then Micro.run ~jobs ~out ();
+  if what = "smoke" then Micro.smoke ~jobs ~out ();
   Format.printf "@.done.@."

@@ -9,9 +9,14 @@
    - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
      measurement quota — fast enough for every-PR CI (bin/ci.sh).
 
-   Both modes write BENCH_sim.json (ns/run, minor GC words/run, rounds/s and
-   the active/reference speedups) so later PRs can diff simulator
-   performance against this one. *)
+   Both modes write BENCH_sim.json (schema dsf-bench-sim/2: ns/run, minor GC
+   words/run, rounds/s, the active/reference speedups, plus provenance —
+   git_rev, utc_date, jobs, cores — and a parallel_scaling section timing
+   the pooled fan-outs at jobs = 1 / 2 / max) so later PRs can diff
+   simulator performance against this one.  Each parallel_scaling workload
+   carries a deterministic "check" value that must not depend on jobs;
+   bin/ci.sh diffs the non-timing fields of a --jobs 1 and a --jobs 2 run
+   to enforce that. *)
 
 open Bechamel
 open Toolkit
@@ -268,6 +273,143 @@ let print_speedups sp =
         s.reference_ns (s.reference_ns /. s.active_ns))
     sp
 
+(* ------------------------------------------------------- parallel scaling *)
+
+(* Wall-clock the pooled fan-out sites at jobs = 1 / 2 / max.  Every
+   workload returns a deterministic check value (a weight or round sum);
+   results must be identical at every jobs, so a mismatch aborts the
+   benchmark — this is the runtime teeth behind the jobs-invariance suite
+   in test/test_parallel.ml. *)
+
+let scaling_jmax = max 4 (Dsf_util.Pool.default_jobs ())
+let scaling_points = List.sort_uniq compare [ 1; 2; scaling_jmax ]
+
+let scaling_workloads : (string * (jobs:int -> int)) list =
+  [
+    (* Rand_dsf's repetition fan-out (the ?jobs plumbed through Solver). *)
+    ( "rand_dsf reps",
+      fun ~jobs ->
+        let r =
+          Dsf_core.Rand_dsf.run ~repetitions:8 ~jobs
+            ~rng:(Dsf_util.Rng.create 7)
+            (Lazy.force shared_instance)
+        in
+        r.Dsf_core.Rand_dsf.weight );
+    (* A Tables-style independent seed sweep, pooled like E1/E14. *)
+    ( "tables sweep",
+      fun ~jobs ->
+        let weights =
+          Dsf_util.Pool.map_chunked ~jobs
+            (fun seed ->
+              let r = Dsf_util.Rng.create seed in
+              let g = Gen.random_connected r ~n:40 ~extra_edges:30 ~max_w:10 in
+              let labels = Gen.random_labels r ~n:40 ~t:10 ~k:3 in
+              (Dsf_core.Det_dsf.run (Inst.make_ic g labels))
+                .Dsf_core.Det_dsf.weight)
+            (Array.init 8 (fun i -> 100 + i))
+        in
+        Array.fold_left ( + ) 0 weights );
+    (* The CI smoke workloads themselves, one pool task per case. *)
+    ( "smoke",
+      fun ~jobs ->
+        let rounds =
+          Dsf_util.Pool.map_chunked ~jobs
+            (fun (_, thunk) -> (thunk ()).Sim.rounds)
+            (Array.of_list sim_cases)
+        in
+        Array.fold_left ( + ) 0 rounds );
+  ]
+
+type scaling = { workload : string; check : int; runs : (int * float) list }
+
+let measure_scaling () =
+  (* Force every shared lazy before any multi-domain run: Lazy.force is not
+     safe to race from two domains. *)
+  ignore (Lazy.force shared_instance);
+  ignore (Lazy.force shared_graph);
+  ignore (Lazy.force shared_tree);
+  ignore (Lazy.force path256);
+  List.map
+    (fun (workload, work) ->
+      let check = ref None in
+      let runs =
+        List.map
+          (fun jobs ->
+            let best = ref infinity in
+            for _ = 1 to 3 do
+              let t0 = Unix.gettimeofday () in
+              let c = work ~jobs in
+              let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+              (match !check with
+              | None -> check := Some c
+              | Some c0 ->
+                  if c <> c0 then
+                    failwith
+                      (Printf.sprintf
+                         "parallel_scaling: %S is jobs-dependent (%d <> %d at \
+                          jobs=%d)"
+                         workload c c0 jobs));
+              if ns < !best then best := ns
+            done;
+            jobs, !best)
+          scaling_points
+      in
+      { workload; check = Option.get !check; runs })
+    scaling_workloads
+
+let print_scaling scaling =
+  Format.printf "@.%-42s %6s %14s %10s@." "parallel scaling" "jobs" "wall ns"
+    "x vs j=1";
+  List.iter
+    (fun s ->
+      let base = match s.runs with (_, ns) :: _ -> ns | [] -> nan in
+      List.iter
+        (fun (jobs, ns) ->
+          Format.printf "%-42s %6d %14.0f %10.2f@." s.workload jobs ns
+            (base /. ns))
+        s.runs)
+    scaling
+
+(* --------------------------------------------------------------- metadata *)
+
+let git_rev () =
+  let line_of path =
+    try
+      let ic = open_in path in
+      let l = (try Some (input_line ic) with End_of_file -> None) in
+      close_in ic;
+      Option.map String.trim l
+    with Sys_error _ -> None
+  in
+  match line_of ".git/HEAD" with
+  | None -> "unknown"
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " ->
+      let r = String.sub head 5 (String.length head - 5) in
+      (match line_of (Filename.concat ".git" r) with
+      | Some rev -> rev
+      | None -> (
+          (* Detached ref file: fall back to .git/packed-refs. *)
+          try
+            let ic = open_in ".git/packed-refs" in
+            let found = ref "unknown" in
+            (try
+               while true do
+                 match String.split_on_char ' ' (input_line ic) with
+                 | [ rev; name ] when name = r -> found := rev
+                 | _ -> ()
+               done
+             with End_of_file -> ());
+            close_in ic;
+            !found
+          with Sys_error _ -> "unknown"))
+  | Some head -> head
+
+let utc_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 (* ------------------------------------------------------------------ JSON *)
 
 let json_escape s =
@@ -284,10 +426,14 @@ let json_float x =
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
   else Printf.sprintf "%.1f" x
 
-let write_json ~mode rows sp path =
+let write_json ~mode ~jobs rows sp scaling path =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"schema\": \"dsf-bench-sim/1\",\n  \"mode\": %S,\n" mode;
+  p "{\n  \"schema\": \"dsf-bench-sim/2\",\n  \"mode\": %S,\n" mode;
+  p "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  p "  \"utc_date\": \"%s\",\n" (utc_date ());
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
@@ -308,7 +454,7 @@ let write_json ~mode rows sp path =
     rows;
   p "  ],\n  \"speedups\": [\n";
   List.iteri
-    (fun i s ->
+    (fun i (s : speedup) ->
       p
         "    {\"workload\": \"%s\", \"active_ns\": %s, \"reference_ns\": %s, \
          \"speedup\": %s}%s\n"
@@ -317,24 +463,43 @@ let write_json ~mode rows sp path =
         (json_float (s.reference_ns /. s.active_ns))
         (if i = List.length sp - 1 then "" else ","))
     sp;
+  p "  ],\n  \"parallel_scaling\": [\n";
+  List.iteri
+    (fun i s ->
+      let base = match s.runs with (_, ns) :: _ -> ns | [] -> nan in
+      p "    {\"workload\": \"%s\", \"check\": %d, \"runs\": ["
+        (json_escape s.workload) s.check;
+      List.iteri
+        (fun j (jobs, ns) ->
+          p "%s{\"jobs\": %d, \"wall_ns\": %s, \"speedup_vs_j1\": %s}"
+            (if j = 0 then "" else ", ")
+            jobs (json_float ns)
+            (json_float (base /. ns)))
+        s.runs;
+      p "]}%s\n" (if i = List.length scaling - 1 then "" else ","))
+    scaling;
   p "  ]\n}\n";
   close_out oc;
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ modes *)
 
-let run () =
+let run ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   Format.printf "@.=== Bechamel wall-clock microbenchmarks ===@.";
   let rows = measure ~quota:0.5 (tests @ sim_tests @ indexed_tests) in
   print_rows rows;
   let sp = speedups rows in
   print_speedups sp;
-  write_json ~mode:"micro" rows sp "BENCH_sim.json"
+  let scaling = measure_scaling () in
+  print_scaling scaling;
+  write_json ~mode:"micro" ~jobs rows sp scaling out
 
-let smoke () =
+let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   Format.printf "@.=== Simulator smoke benchmarks (CI) ===@.";
   let rows = measure ~quota:0.05 sim_tests in
   print_rows rows;
   let sp = speedups rows in
   print_speedups sp;
-  write_json ~mode:"smoke" rows sp "BENCH_sim.json"
+  let scaling = measure_scaling () in
+  print_scaling scaling;
+  write_json ~mode:"smoke" ~jobs rows sp scaling out

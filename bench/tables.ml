@@ -12,6 +12,7 @@ module Paths = Dsf_graph.Paths
 module Ledger = Dsf_congest.Ledger
 module Stats = Dsf_util.Stats
 module Rng = Dsf_util.Rng
+module Pool = Dsf_util.Pool
 
 let header title claim =
   Format.printf "@.=== %s ===@.claim: %s@." title claim
@@ -27,18 +28,26 @@ let random_instance ?(n = 40) ?(extra = 30) ?(max_w = 10) ~t ~k seed =
 
 (* ------------------------------------------------------------------- E1 *)
 
-let e1 () =
+let e1 ~jobs () =
   header "E1 (Theorem 4.1)"
     "centralized moat growing is feasible and within 2x OPT; its dual lower-bounds OPT";
   Format.printf "%6s %4s %4s %6s %6s %8s %8s@." "seed" "t" "k" "OPT" "W" "W/OPT"
     "dual";
+  (* The seed sweep fans out on the domain pool (solve + exact-OPT DP per
+     seed are independent); rows are printed afterwards, in seed order. *)
+  let rows =
+    Pool.map_chunked ~jobs
+      (fun seed ->
+        let inst = random_instance ~t:8 ~k:3 seed in
+        let res = Dsf_core.Moat.run inst in
+        let opt = Exact.steiner_forest_weight inst in
+        seed, inst, res, opt)
+      (Array.init 12 (fun i -> 100 + i))
+  in
   let ratios = ref [] in
   let ok = ref true in
-  List.iter
-    (fun seed ->
-      let inst = random_instance ~t:8 ~k:3 seed in
-      let res = Dsf_core.Moat.run inst in
-      let opt = Exact.steiner_forest_weight inst in
+  Array.iter
+    (fun (seed, inst, res, opt) ->
       let ratio = float_of_int res.Dsf_core.Moat.weight /. float_of_int opt in
       ratios := ratio :: !ratios;
       let dual = Dsf_core.Frac.to_float res.Dsf_core.Moat.dual in
@@ -49,7 +58,7 @@ let e1 () =
       then ok := false;
       Format.printf "%6d %4d %4d %6d %6d %8.3f %8.2f@." seed 8 3 opt
         res.Dsf_core.Moat.weight ratio dual)
-    (List.init 12 (fun i -> 100 + i));
+    rows;
   let lo, mean, hi = (fun l -> Stats.min_max l, Stats.mean l) !ratios |> fun ((a, b), c) -> a, c, b in
   Format.printf "ratio: min=%.3f mean=%.3f max=%.3f (bound 2.000)@." lo mean hi;
   verdict "E1" !ok
@@ -485,11 +494,15 @@ let percentile sorted p =
   let n = Array.length sorted in
   sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
-let e14 () =
+let e14 ~jobs () =
   header "E14 (ratio distributions)"
     "empirical approximation-ratio distributions over 40 mixed instances (the paper gives worst-case bounds; this shows typical behaviour)";
+  (* Instance construction (with its exact-OPT DP) and each algorithm's
+     40-instance sweep fan out on the domain pool; the pool preserves input
+     order, so the reported percentiles are independent of [jobs]. *)
   let instances =
-    List.init 40 (fun i ->
+    Pool.map_chunked ~jobs
+      (fun i ->
         let seed = 3000 + i in
         let r = Rng.create seed in
         let g =
@@ -503,7 +516,9 @@ let e14 () =
         let labels = Gen.random_labels r ~n ~t:8 ~k:3 in
         let inst = Instance.make_ic g labels in
         inst, Exact.steiner_forest_weight inst, seed)
+      (Array.init 40 Fun.id)
   in
+  let sweep f = Array.to_list (Pool.map_chunked ~jobs f instances) in
   Format.printf "%-28s %8s %8s %8s %8s %8s@." "algorithm" "p10" "p50" "p90"
     "max" "bound";
   let ok = ref true in
@@ -518,32 +533,28 @@ let e14 () =
   in
   let ratio w opt = float_of_int w /. float_of_int opt in
   report "Det_dsf" 2.0
-    (List.map
-       (fun (inst, opt, _) -> ratio (Dsf_core.Det_dsf.run inst).Dsf_core.Det_dsf.weight opt)
-       instances);
+    (sweep
+       (fun (inst, opt, _) -> ratio (Dsf_core.Det_dsf.run inst).Dsf_core.Det_dsf.weight opt));
   report "Det_sublinear eps=1/2" 2.5
-    (List.map
+    (sweep
        (fun (inst, opt, _) ->
          ratio
            (Dsf_core.Det_sublinear.run ~eps_num:1 ~eps_den:2 inst)
-             .Dsf_core.Det_sublinear.weight opt)
-       instances);
+             .Dsf_core.Det_sublinear.weight opt));
   report "Rand_dsf (3 reps)"
     (2.0 *. log (float_of_int 30))
-    (List.map
+    (sweep
        (fun (inst, opt, seed) ->
          ratio
            (Dsf_core.Rand_dsf.run ~rng:(Rng.create seed) inst).Dsf_core.Rand_dsf.weight
-           opt)
-       instances);
+           opt));
   report "Khan et al. [14] (3 reps)"
     (2.0 *. log (float_of_int 30))
-    (List.map
+    (sweep
        (fun (inst, opt, seed) ->
          ratio
            (Dsf_baseline.Khan_etal.run ~rng:(Rng.create (seed + 1)) inst)
-             .Dsf_baseline.Khan_etal.weight opt)
-       instances);
+             .Dsf_baseline.Khan_etal.weight opt));
   verdict "E14" !ok
 
 (* ------------------------------------------------------------------ E15 *)
@@ -581,8 +592,8 @@ let e15 () =
       .Dsf_baseline.Steiner_tree_distributed.ledger;
   verdict "E15" !ok
 
-let run_all () =
-  e1 ();
+let run_all ~jobs () =
+  e1 ~jobs ();
   e2 ();
   e3 ();
   e4 ();
@@ -593,6 +604,6 @@ let run_all () =
   e9 ();
   e10 ();
   e11 ();
-  e14 ();
+  e14 ~jobs ();
   e15 ();
   f1 ()

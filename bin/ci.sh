@@ -1,10 +1,36 @@
 #!/usr/bin/env sh
 # Per-PR check: build, full test suite (including the simulator
 # differential suite), and the fast simulator benchmark smoke path so the
-# bench harness and BENCH_sim.json emission are exercised on every change.
+# bench harness and JSON emission are exercised on every change.
+#
+# The smoke bench runs twice — --jobs 1 and --jobs 2 — and the two JSONs
+# are diffed with the measured-time fields stripped: the domain pool may
+# change wall time only, never a measured quantity (rounds, names,
+# parallel_scaling checks).  A diff here means the trial engine leaked
+# nondeterminism; see the domain-safety contract in lib/congest/sim.mli.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec bench/main.exe -- smoke
+
+scratch=_build/ci
+mkdir -p "$scratch"
+dune exec bench/main.exe -- smoke --jobs 1 --out "$scratch/bench_j1.json"
+dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/bench_j2.json"
+
+# Strip timings and the fields that legitimately differ between the runs
+# (jobs, utc_date); everything left must match exactly.
+strip_timing() {
+  sed -E \
+    -e 's/"(ns_per_run|r_square|minor_words_per_run|rounds_per_sec|active_ns|reference_ns|speedup_vs_j1|speedup|wall_ns)": [^,}]*/"\1": _/g' \
+    -e 's/"(utc_date|jobs)": [^,}]*/"\1": _/g' \
+    "$1"
+}
+strip_timing "$scratch/bench_j1.json" > "$scratch/bench_j1.flat"
+strip_timing "$scratch/bench_j2.json" > "$scratch/bench_j2.flat"
+if ! diff -u "$scratch/bench_j1.flat" "$scratch/bench_j2.flat"; then
+  echo "ci: smoke bench output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+echo "ci: smoke bench is jobs-invariant"

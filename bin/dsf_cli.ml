@@ -43,7 +43,7 @@ let load_or_generate file topology rng n t k max_w =
       let labels = Gen.spread_labels rng g ~t ~k in
       Instance.make_ic g labels
 
-let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out =
+let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs =
   let rng = Dsf_util.Rng.create seed in
   let inst = load_or_generate file topology rng n t k max_w in
   let g = inst.Instance.graph in
@@ -63,7 +63,9 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out =
           r.Dsf_core.Det_sublinear.solution,
           Some r.Dsf_core.Det_sublinear.ledger )
     | "rand" ->
-        let r = Dsf_core.Rand_dsf.run ~rng:(Dsf_util.Rng.split rng 1) inst in
+        let r =
+          Dsf_core.Rand_dsf.run ~jobs ~rng:(Dsf_util.Rng.split rng 1) inst
+        in
         r.Dsf_core.Rand_dsf.weight, r.Dsf_core.Rand_dsf.solution, Some r.Dsf_core.Rand_dsf.ledger
     | "khan" ->
         let r = Dsf_baseline.Khan_etal.run ~rng:(Dsf_util.Rng.split rng 1) inst in
@@ -107,7 +109,7 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out =
       Format.printf "wrote %s@." path
   | None -> ()
 
-let compare_cmd topology n t k max_w seed file =
+let compare_cmd topology n t k max_w seed file jobs =
   let rng = Dsf_util.Rng.create seed in
   let inst = load_or_generate file topology rng n t k max_w in
   let g = inst.Instance.graph in
@@ -121,7 +123,7 @@ let compare_cmd topology n t k max_w seed file =
       Format.printf "%-34s %8d %10d %10d %10b@." r.Dsf_core.Solver.algorithm
         r.Dsf_core.Solver.weight r.Dsf_core.Solver.rounds_simulated
         r.Dsf_core.Solver.rounds_charged r.Dsf_core.Solver.feasible)
-    (Dsf_core.Solver.compare_all inst)
+    (Dsf_core.Solver.compare_all ~jobs inst)
 
 let verify_cmd inst_file sol_file dual =
   match Dsf_graph.Io.parse_file inst_file with
@@ -215,6 +217,16 @@ let file_arg =
     & opt (some string) None
     & info [ "file" ] ~doc:"read the instance from a file (Io format) instead of generating")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Dsf_util.Pool.default_jobs ())
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "domains for trial fan-out (repetitions of the randomized \
+           algorithm); default = recommended domain count, capped; results \
+           are identical for any value")
+
 let solve_term =
   let algo = Arg.(value & opt string "det" & info [ "algo" ] ~doc:"det | sublinear | rand | khan | moat") in
   let eps_den = Arg.(value & opt int 2 & info [ "eps-den" ] ~doc:"eps = 1/eps-den for sublinear") in
@@ -227,12 +239,12 @@ let solve_term =
   in
   Term.(
     const solve_cmd $ algo $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
-    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out)
+    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg)
 
 let compare_term =
   Term.(
     const compare_cmd $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
-    $ seed_arg $ file_arg)
+    $ seed_arg $ file_arg $ jobs_arg)
 
 let params_term = Term.(const params_cmd $ topology_arg $ nodes_arg $ maxw_arg $ seed_arg)
 

@@ -26,7 +26,13 @@ exception Round_limit of int
 
 let never _ ~round:_ _ = false
 
-let observer : (src:int -> dst:int -> bits:int -> unit) option ref = ref None
+type observer = src:int -> dst:int -> bits:int -> unit
+
+(* Deprecated global shim (see the .mli): a process-wide observer kept for
+   existing single-domain callers.  Parallel harness code passes the
+   per-run [?observer] parameter instead and must not touch this ref while
+   a fan-out is running. *)
+let observer : observer option ref = ref None
 
 let set_observer f = observer := f
 
@@ -38,6 +44,20 @@ let with_observer f body =
   in
   observer := Some chained;
   Fun.protect ~finally:(fun () -> observer := prev) body
+
+(* The observer a run actually uses: the global shim (if set) chained
+   before the per-run one, resolved once at run start so the hot loop
+   reads a local and the run is immune to mid-run shim mutation. *)
+let effective_observer per_run =
+  match !observer, per_run with
+  | None, None -> None
+  | (Some _ as g), None -> g
+  | None, (Some _ as f) -> f
+  | Some g, Some f ->
+      Some
+        (fun ~src ~dst ~bits ->
+          g ~src ~dst ~bits;
+          f ~src ~dst ~bits)
 
 (* Per-node map from neighbor id to the *directed edge slot* of the edge
    towards that neighbor: edge [eid] sent from its stored [u] endpoint
@@ -94,7 +114,8 @@ let buf_drain b =
    hashtable, quiescence re-scans the full state vector.  The only change
    from the seed is the satellite fix: recipient validation uses the
    precomputed neighbor tables instead of an O(deg) adjacency scan. *)
-let run_reference ?max_rounds ?halt g proto =
+let run_reference ?max_rounds ?halt ?observer:per_run g proto =
+  let obs = effective_observer per_run in
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 10_000 + (200 * n)
@@ -131,7 +152,7 @@ let run_reference ?max_rounds ?halt g proto =
           incr messages;
           let bits = proto.msg_bits msg in
           total_bits := !total_bits + bits;
-          (match !observer with
+          (match obs with
           | Some f -> f ~src:v ~dst ~bits
           | None -> ());
           let key = (v * n) + dst in
@@ -165,6 +186,9 @@ let run_reference ?max_rounds ?halt g proto =
       budget_violations = !budget_violations;
     } )
 
+(* Deprecated global shim, same contract as [observer] above: the
+   per-run [?reference] parameter is the domain-safe way to pick the
+   engine. *)
 let use_reference_engine = ref false
 
 (* Active-set engine.  Per-round work is proportional to the number of
@@ -184,9 +208,13 @@ let use_reference_engine = ref false
 
    Stats, observer calls (order included), exceptions, and final states are
    bit-for-bit those of [run_reference]; test_sim_equiv enforces this. *)
-let run ?max_rounds ?halt g proto =
-  if !use_reference_engine then run_reference ?max_rounds ?halt g proto
+let run ?max_rounds ?halt ?observer:per_run ?reference g proto =
+  let reference =
+    match reference with Some b -> b | None -> !use_reference_engine
+  in
+  if reference then run_reference ?max_rounds ?halt ?observer:per_run g proto
   else begin
+    let obs = effective_observer per_run in
     let n = Graph.n g in
     let m = Graph.m g in
     let max_rounds =
@@ -245,7 +273,7 @@ let run ?max_rounds ?halt g proto =
               incr messages;
               let bits = proto.msg_bits msg in
               total_bits := !total_bits + bits;
-              (match !observer with
+              (match obs with
               | Some f -> f ~src:v ~dst ~bits
               | None -> ());
               let prev = edge_bits.(slot) in

@@ -79,20 +79,39 @@ val never : view -> round:int -> 's -> bool
 (** [never] ignores its arguments and returns [false]: the canonical [wake]
     for protocols whose activity is entirely message- or progress-driven. *)
 
-val set_observer : (src:int -> dst:int -> bits:int -> unit) option -> unit
-(** Install a global message observer: called for every message any
-    simulation sends until cleared.  Pure measurement instrumentation
-    (e.g. counting bits across the Alice/Bob cut in the Section 3
-    lower-bound experiments); it never affects execution. *)
+type observer = src:int -> dst:int -> bits:int -> unit
+(** A message tap: called for every message a run sends, in send order.
+    Pure measurement instrumentation (e.g. counting bits across the
+    Alice/Bob cut in the Section 3 lower-bound experiments); it never
+    affects execution.
 
-val with_observer :
-  (src:int -> dst:int -> bits:int -> unit) -> (unit -> 'a) -> 'a
-(** Scoped observer; nests by chaining — an enclosing observer keeps
-    seeing the traffic — and restores the previous observer on exit. *)
+    {2 Domain-safety contract}
+
+    The simulator holds no per-run mutable state that outlives {!run}, so
+    any number of simulations may run concurrently on separate domains
+    (the {!Dsf_util.Pool} trial engine does exactly this) — {e provided}
+    each run's configuration is passed through the per-run [?observer] /
+    [?reference] parameters.  The global shims ({!set_observer},
+    {!with_observer}, {!use_reference_engine}) mutate process-wide state
+    and are kept only for single-domain callers (tests, the lower-bound
+    cut meter, the engine microbenchmarks); never touch them while a
+    parallel fan-out is in flight. *)
+
+val set_observer : observer option -> unit
+(** Deprecated global shim: installs a process-wide observer chained
+    before every run's per-run observer.  Single-domain use only — see
+    the domain-safety contract above; prefer [?observer] on {!run}. *)
+
+val with_observer : observer -> (unit -> 'a) -> 'a
+(** Scoped global observer; nests by chaining — an enclosing observer
+    keeps seeing the traffic — and restores the previous observer on
+    exit.  Single-domain use only; prefer [?observer] on {!run}. *)
 
 val run :
   ?max_rounds:int ->
   ?halt:('s array -> bool) ->
+  ?observer:observer ->
+  ?reference:bool ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
@@ -105,11 +124,17 @@ val run :
     state vector after every round; when it fires the run stops immediately.
     It models a coordinator aborting a subroutine ("the root detects X and
     broadcasts stop"): the caller is responsible for charging the O(D)
-    stop-broadcast to its round ledger. *)
+    stop-broadcast to its round ledger.
+
+    [observer] taps this run's messages (in addition to the global shim,
+    which fires first when both are set).  [reference] selects the engine
+    for this run only: [true] delegates to {!run_reference}; it defaults
+    to the {!use_reference_engine} shim (normally [false]). *)
 
 val run_reference :
   ?max_rounds:int ->
   ?halt:('s array -> bool) ->
+  ?observer:observer ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
@@ -120,10 +145,12 @@ val run_reference :
     use — it pays O(n + m) per round regardless of activity. *)
 
 val use_reference_engine : bool ref
-(** Test/benchmark instrumentation: while [true], {!run} delegates to
+(** Deprecated global shim for test/benchmark instrumentation: while
+    [true], {!run} (called without an explicit [?reference]) delegates to
     {!run_reference}.  Lets the differential suite and the microbenchmarks
     drive whole algorithm entry points (e.g. {!Bellman_ford.sssp}) through
     both engines without threading an engine parameter through every
-    caller.  Never set this in library code; reset it with [Fun.protect]. *)
+    caller.  Never set this in library code; reset it with [Fun.protect];
+    single-domain use only (see the domain-safety contract). *)
 
 val pp_stats : Format.formatter -> stats -> unit

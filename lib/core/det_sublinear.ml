@@ -33,10 +33,13 @@ let ckey_cmp a b =
     if c <> 0 then c else compare (a.pair, a.eid) (b.pair, b.eid)
   end
 
-(* Globally replicated Algorithm-2 moat state. *)
+(* Globally replicated Algorithm-2 moat state.  [tindex] maps node id ->
+   terminal index (-1 for non-terminals): a flat array, because the
+   owner-scan inner loops below look it up per (node, neighbor) pair and
+   hashtable probes dominated the profile. *)
 type gstate = {
   terms : int array;
-  tindex : (int, int) Hashtbl.t;
+  tindex : int array;
   labels : int array;
   moats : Uf.t;
   label_uf : Uf.t;
@@ -132,8 +135,8 @@ let run ~eps_num ~eps_den inst0 =
     Ledger.add ledger Ledger.Simulated
       "setup: minimalize + moat-label bookkeeping (Lemma 2.4)"
       minimalized.Transform.rounds;
-    let tindex = Hashtbl.create t in
-    Array.iteri (fun i v -> Hashtbl.add tindex v i) terms;
+    let tindex = Array.make n (-1) in
+    Array.iteri (fun i v -> tindex.(v) <- i) terms;
     let labels = Array.map (fun v -> inst.Instance.labels.(v)) terms in
     let max_label = Array.fold_left max 0 labels in
     let gs =
@@ -160,6 +163,12 @@ let run ~eps_num ~eps_den inst0 =
        classification); the distributed output is built by token flood. *)
     let forest = Array.make m false in
     let uf_nodes = Uf.create n in
+    (* Scratch tables reused across merge phases: component sizes for the
+       Definition 4.18 small/large test and the per-moat proposal slots —
+       preallocated flat arrays instead of a fresh hashtable per
+       iteration (the other half of the owner-scan hot-path fix). *)
+    let comp_size = Array.make n 0 in
+    let proposals = Array.make t None in
     let materialize (key : ckey) =
       let e = Graph.edge g key.eid in
       let add eid =
@@ -211,7 +220,7 @@ let run ~eps_num ~eps_den inst0 =
         incr phase_in_growth;
         let j = !merge_phase_count in
         let owner_active u =
-          owner.(u) >= 0 && g_active gs (Hashtbl.find tindex owner.(u))
+          owner.(u) >= 0 && g_active gs tindex.(owner.(u))
         in
         let frozen =
           Array.init n (fun u -> covered.(u) && not (owner_active u))
@@ -241,14 +250,14 @@ let run ~eps_num ~eps_den inst0 =
         for u = 0 to n - 1 do
           if (not frozen.(u)) && towner u >= 0 then begin
             let ou = towner u in
-            let ti = Hashtbl.find tindex ou in
+            let ti = tindex.(ou) in
             if g_active gs ti then begin
               let du = toffset u in
               Array.iter
                 (fun (nb, w, eid) ->
                   let onb = towner nb in
                   if onb >= 0 && onb <> ou then begin
-                    let tj = Hashtbl.find tindex onb in
+                    let tj = tindex.(onb) in
                     if not (Uf.same gs.moats ti tj) then begin
                       let total =
                         Frac.add (Frac.add du (Frac.of_int w)) (toffset nb)
@@ -318,7 +327,7 @@ let run ~eps_num ~eps_den inst0 =
           !temp_aa;
         (* Coverage update for growth mu_j. *)
         let active_at_start u = (not frozen.(u)) && towner u >= 0
-          && g_active gs (Hashtbl.find tindex (towner u)) in
+          && g_active gs tindex.(towner u) in
         for u = 0 to n - 1 do
           if active_at_start u then begin
             if covered.(u) then offset.(u) <- Frac.sub offset.(u) mu_j
@@ -342,17 +351,14 @@ let run ~eps_num ~eps_den inst0 =
       let moat_rep ti = Uf.find gs.moats ti in
       let component_small () =
         (* Small iff the moat's component in (V, F) has < sigma nodes
-           (Definition 4.18). *)
-        let sizes = Hashtbl.create 16 in
+           (Definition 4.18).  [comp_size] is indexed by union-find
+           representative, rebuilt (not reallocated) per call. *)
+        Array.fill comp_size 0 n 0;
         for u = 0 to n - 1 do
           let r = Uf.find uf_nodes u in
-          Hashtbl.replace sizes r
-            (1 + Option.value ~default:0 (Hashtbl.find_opt sizes r))
+          comp_size.(r) <- comp_size.(r) + 1
         done;
-        fun ti ->
-          let node = gs.terms.(ti) in
-          let r = Uf.find uf_nodes node in
-          Option.value ~default:1 (Hashtbl.find_opt sizes r) < sigma
+        fun ti -> comp_size.(Uf.find uf_nodes gs.terms.(ti)) < sigma
       in
       let max_iters = ceil_log2 (max 2 sigma) + 1 in
       let progressing = ref true in
@@ -406,27 +412,35 @@ let run ~eps_num ~eps_den inst0 =
         Ledger.add ledger Ledger.Simulated
           (gtag (Printf.sprintf "small-moat proposal gossip %d (Step 3bi)" !iter))
           gossip_stats.Sim.rounds;
-        (* Read each small moat's proposal at one of its terminals. *)
-        let proposals = Hashtbl.create 16 in
+        (* Read each small moat's proposal at one of its terminals; the
+           reused [proposals] array is slotted by moat representative. *)
+        Array.fill proposals 0 t None;
+        let n_proposals = ref 0 in
         Array.iteri
           (fun ti _ ->
             let rep = moat_rep ti in
-            if is_small ti && not (Hashtbl.mem proposals rep) then begin
+            if is_small ti && Option.is_none proposals.(rep) then begin
               match gossip.(gs.terms.(ti)) with
               | Some it when live it ->
-                  Hashtbl.replace proposals rep (it.Pipeline.key, it)
+                  proposals.(rep) <- Some (it.Pipeline.key, it);
+                  incr n_proposals
               | _ -> ()
             end)
           gs.terms;
-        if Hashtbl.length proposals = 0 then progressing := false
+        if !n_proposals = 0 then progressing := false
         else begin
           (* Greedy maximal matching on small-small proposals, then
              unmatched small moats re-add their proposal (Step 3bii). *)
           let matched = Hashtbl.create 16 in
           let chosen = ref [] in
           let proposals_sorted =
-            Hashtbl.fold (fun rep (k, it) acc -> (k, rep, it) :: acc) proposals []
-            |> List.sort (fun (k1, _, _) (k2, _, _) -> ckey_cmp k1 k2)
+            let acc = ref [] in
+            for rep = t - 1 downto 0 do
+              match proposals.(rep) with
+              | Some (k, it) -> acc := (k, rep, it) :: !acc
+              | None -> ()
+            done;
+            List.sort (fun (k1, _, _) (k2, _, _) -> ckey_cmp k1 k2) !acc
           in
           List.iter
             (fun (_, _, (it : ckey Pipeline.item)) ->
@@ -519,9 +533,8 @@ let run ~eps_num ~eps_den inst0 =
         !best
       in
       let witness_items v =
-        match Hashtbl.find_opt tindex v with
-        | Some ti -> [ g_label gs ti, moat_leader ti ]
-        | None -> []
+        let ti = tindex.(v) in
+        if ti >= 0 then [ g_label gs ti, moat_leader ti ] else []
       in
       let witnesses, w_stats =
         Tree_ops.upcast_dedup ~per_key:2 g_scaled ~tree ~items:witness_items

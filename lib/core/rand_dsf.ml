@@ -117,7 +117,7 @@ let first_stage rng g inst ledger note_stats ~truncate =
   done;
   f, vt
 
-let run ?(repetitions = 3) ?force_truncate ~rng inst0 =
+let run ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
   let minimalized = Transform.minimalize inst0 in
   let inst = minimalized.Transform.value in
   let g = inst.Instance.graph in
@@ -126,11 +126,6 @@ let run ?(repetitions = 3) ?force_truncate ~rng inst0 =
   Ledger.add ledger Ledger.Simulated "setup: minimalize instance (Lemma 2.4)"
     minimalized.Transform.rounds;
   let max_bits = ref 0 in
-  let note_stats label (stats : Sim.stats) =
-    Ledger.add ledger Ledger.Simulated label stats.Sim.rounds;
-    if stats.Sim.max_edge_round_bits > !max_bits then
-      max_bits := stats.Sim.max_edge_round_bits
-  in
   let d, _, s = Paths.parameters g in
   (* The regime test of footnote 2, genuinely simulated: count n by
      convergecast, then run Bellman-Ford for at most sqrt(n) rounds. *)
@@ -153,13 +148,27 @@ let run ?(repetitions = 3) ?force_truncate ~rng inst0 =
       phases = 0;
     }
   else begin
-    (* Repeat the first stage; keep the lightest F (algorithm step 1-2). *)
-    let best = ref None in
-    let phases = ref 0 in
-    for rep = 1 to repetitions do
-      let rep_rng = Dsf_util.Rng.split rng rep in
-      let f, vt = first_stage rep_rng g inst ledger note_stats ~truncate in
-      phases := vt.Virtual_tree.levels + 1;
+    (* Repeat the first stage; keep the lightest F (algorithm step 1-2).
+       The repetitions are independent trials: each draws its randomness
+       from a stream split off the caller's rng by trial index *before*
+       the fan-out and accumulates rounds in its own ledger, so running
+       them on the domain pool is bit-identical to the sequential loop —
+       trial ledgers merge back in repetition order below. *)
+    let rep_rngs =
+      Array.init repetitions (fun i -> Dsf_util.Rng.split rng (i + 1))
+    in
+    let trial i =
+      let rep = i + 1 in
+      let trial_ledger = Ledger.create () in
+      let trial_max_bits = ref 0 in
+      let note_stats label (stats : Sim.stats) =
+        Ledger.add trial_ledger Ledger.Simulated label stats.Sim.rounds;
+        if stats.Sim.max_edge_round_bits > !trial_max_bits then
+          trial_max_bits := stats.Sim.max_edge_round_bits
+      in
+      let f, vt =
+        first_stage rep_rngs.(i) g inst trial_ledger note_stats ~truncate
+      in
       let w = Graph.edge_set_weight g f in
       (* Compare candidate forests by a simulated weight convergecast:
          each node contributes half the weight of its selected incident
@@ -174,13 +183,25 @@ let run ?(repetitions = 3) ?force_truncate ~rng inst0 =
           ~combine:( + )
           ~bits:(fun x -> Bitsize.int_bits (max 1 x))
       in
-      Ledger.add ledger Ledger.Simulated
+      Ledger.add trial_ledger Ledger.Simulated
         (Printf.sprintf "stage1 rep %d: weight comparison" rep)
         w_stats.Sim.rounds;
-      match !best with
-      | Some (bw, _, _) when bw <= w -> ()
-      | _ -> best := Some (w, f, vt)
-    done;
+      w, f, vt, trial_ledger, !trial_max_bits
+    in
+    let trials =
+      Dsf_util.Pool.map_chunked ~jobs trial (Array.init repetitions Fun.id)
+    in
+    let best = ref None in
+    let phases = ref 0 in
+    Array.iter
+      (fun (w, f, vt, trial_ledger, trial_max_bits) ->
+        Ledger.merge_into ~dst:ledger trial_ledger;
+        if trial_max_bits > !max_bits then max_bits := trial_max_bits;
+        phases := vt.Virtual_tree.levels + 1;
+        match !best with
+        | Some (bw, _, _) when bw <= w -> ()
+        | _ -> best := Some (w, f, vt))
+      trials;
     let _, f, vt =
       match !best with Some x -> x | None -> assert false
     in

@@ -34,9 +34,16 @@ type result = {
 val run :
   ?repetitions:int ->
   ?force_truncate:bool ->
+  ?jobs:int ->
   rng:Dsf_util.Rng.t ->
   Dsf_graph.Instance.ic ->
   result
 (** [repetitions] defaults to 3.  [force_truncate] overrides the
     s-vs-sqrt(n) regime test (used by experiments to exercise both code
-    paths on the same instance). *)
+    paths on the same instance).
+
+    [jobs] (default 1) runs the repetitions on the {!Dsf_util.Pool}
+    domain pool.  Each repetition draws from an rng split off [rng] by
+    its trial index and logs rounds into its own ledger, merged back in
+    repetition order, so the result — solution, weight, and ledger — is
+    bit-identical for every [jobs] value. *)

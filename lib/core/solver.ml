@@ -54,7 +54,7 @@ let khan_hook :
         "Solver: Khan baseline requested but dsf_baseline is not linked; \
          depend on dsf_baseline or avoid Khan_baseline")
 
-let solve_ic algo inst =
+let solve_ic ?(jobs = 1) algo inst =
   match algo with
   | Det ->
       let r = Det_dsf.run inst in
@@ -67,7 +67,7 @@ let solve_ic algo inst =
         (Some r.Det_sublinear.ledger)
   | Rand { repetitions; seed } ->
       let r =
-        Rand_dsf.run ~repetitions ~rng:(Dsf_util.Rng.create seed) inst
+        Rand_dsf.run ~repetitions ~jobs ~rng:(Dsf_util.Rng.create seed) inst
       in
       of_ledger algo inst r.Rand_dsf.solution r.Rand_dsf.weight None
         (Some r.Rand_dsf.ledger)
@@ -82,9 +82,9 @@ let solve_ic algo inst =
         (Some (Frac.to_float r.Moat.dual))
         None
 
-let solve_cr algo cr =
+let solve_cr ?jobs algo cr =
   let out = Transform.cr_to_ic cr in
-  let report = solve_ic algo out.Transform.value in
+  let report = solve_ic ?jobs algo out.Transform.value in
   let ledger =
     match report.ledger with
     | Some l ->
@@ -101,7 +101,7 @@ let solve_cr algo cr =
     ledger;
   }
 
-let compare_all ?algorithms inst =
+let compare_all ?jobs ?algorithms inst =
   let algorithms =
     match algorithms with
     | Some l -> l
@@ -113,5 +113,5 @@ let compare_all ?algorithms inst =
           Khan_baseline { repetitions = 3; seed = 1 };
         ]
   in
-  List.map (fun a -> solve_ic a inst) algorithms
+  List.map (fun a -> solve_ic ?jobs a inst) algorithms
   |> List.sort (fun a b -> compare a.weight b.weight)

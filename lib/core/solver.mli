@@ -30,13 +30,17 @@ type report = {
   ledger : Dsf_congest.Ledger.t option;
 }
 
-val solve_ic : algorithm -> Dsf_graph.Instance.ic -> report
+val solve_ic : ?jobs:int -> algorithm -> Dsf_graph.Instance.ic -> report
+(** [jobs] (default 1) parallelizes the trial fan-out of algorithms that
+    have one ({!algorithm.Rand}'s repetitions) on the {!Dsf_util.Pool};
+    results are bit-identical for every [jobs] value. *)
 
-val solve_cr : algorithm -> Dsf_graph.Instance.cr -> report
+val solve_cr : ?jobs:int -> algorithm -> Dsf_graph.Instance.cr -> report
 (** Applies the distributed Lemma 2.3 transform first; its rounds are
     added to the report (and its ledger entry when a ledger exists). *)
 
 val compare_all :
+  ?jobs:int ->
   ?algorithms:algorithm list ->
   Dsf_graph.Instance.ic ->
   report list

@@ -1,0 +1,110 @@
+exception Nested_use
+
+let hard_cap = 8
+
+let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) hard_cap)
+
+(* One outstanding parallel region ("batch") at a time.  A batch is a
+   chunk counter plus a closure executing one chunk; workers and the
+   calling domain pull indices from the shared counter until exhausted.
+   [completed] (guarded by [lock]) counts finished chunks so the caller
+   knows when every chunk — including ones run by workers — is done. *)
+type batch = {
+  gen : int;  (* distinguishes this batch from the one a worker just ran *)
+  chunks : int;
+  next : int Atomic.t;
+  run : int -> unit;  (* must not raise: wrapped by [map_chunked] *)
+  mutable completed : int;  (* guarded by [lock] *)
+}
+
+let lock = Mutex.create ()
+let work_ready = Condition.create ()
+let batch_done = Condition.create ()
+let current : batch option ref = ref None
+let generation = ref 0
+let spawned = ref 0
+
+(* [busy] doubles as the mutual-exclusion flag for the single parallel
+   region and as the nested-use detector: a task calling [map_chunked]
+   with [jobs > 1] finds it set and gets {!Nested_use}. *)
+let busy = Atomic.make false
+
+let run_chunks b =
+  let rec pull () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.chunks then begin
+      b.run i;
+      Mutex.lock lock;
+      b.completed <- b.completed + 1;
+      if b.completed = b.chunks then Condition.broadcast batch_done;
+      Mutex.unlock lock;
+      pull ()
+    end
+  in
+  pull ()
+
+let rec worker_loop last_gen =
+  Mutex.lock lock;
+  let rec await () =
+    match !current with
+    | Some b when b.gen <> last_gen -> b
+    | _ ->
+        Condition.wait work_ready lock;
+        await ()
+  in
+  let b = await () in
+  Mutex.unlock lock;
+  run_chunks b;
+  worker_loop b.gen
+
+let ensure_workers want =
+  let want = min want (hard_cap - 1) in
+  while !spawned < want do
+    incr spawned;
+    (* Workers live for the whole process; they do not block exit. *)
+    ignore (Domain.spawn (fun () -> worker_loop (-1)))
+  done
+
+let map_chunked ~jobs f arr =
+  let len = Array.length arr in
+  if jobs <= 1 || len <= 1 then Array.map f arr
+  else if not (Atomic.compare_and_set busy false true) then raise Nested_use
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set busy false) @@ fun () ->
+    let results = Array.make len None in
+    (* Guarded by [lock]; the failure at the smallest index wins, so the
+       propagated exception is deterministic under any schedule. *)
+    let first_error = ref None in
+    let run i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock lock;
+          (match !first_error with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> first_error := Some (i, e, bt));
+          Mutex.unlock lock
+    in
+    ensure_workers (jobs - 1);
+    Mutex.lock lock;
+    incr generation;
+    let b =
+      { gen = !generation; chunks = len; next = Atomic.make 0; run;
+        completed = 0 }
+    in
+    current := Some b;
+    Condition.broadcast work_ready;
+    Mutex.unlock lock;
+    (* The calling domain is a worker too. *)
+    run_chunks b;
+    Mutex.lock lock;
+    while b.completed < b.chunks do
+      Condition.wait batch_done lock
+    done;
+    current := None;
+    Mutex.unlock lock;
+    (match !first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results

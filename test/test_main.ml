@@ -6,4 +6,5 @@ let () =
    @ Test_metamorphic.suites @ Test_pruning.suites @ Test_spanner.suites
    @ Test_mst_baselines.suites @ Test_differential.suites
    @ Test_sim_equiv.suites @ Test_fuzz.suites
-   @ Test_routing.suites @ Test_worked_examples.suites @ Test_misc.suites)
+   @ Test_routing.suites @ Test_worked_examples.suites @ Test_misc.suites
+   @ Test_parallel.suites)
