@@ -1,7 +1,8 @@
 (* Ablation experiments: each isolates one design choice DESIGN.md calls
    out and measures what it buys.  A1 = pipelining, A2 = repetition
-   amplification, A3 = forest-level sharing, A4 = the ε knob, E12 = the
-   Lemma 3.4 consistency check (Ω(s) even at D = 2). *)
+   amplification, A3 = forest-level sharing, A4 = the ε knob, A6 = the
+   Fault.harden retransmission overhead, E12 = the Lemma 3.4 consistency
+   check (Ω(s) even at D = 2). *)
 
 module Graph = Dsf_graph.Graph
 module Gen = Dsf_graph.Gen
@@ -217,47 +218,112 @@ let e12 () =
 
 (* ------------------------------------------------------------------- A5 *)
 
-(* A5 records traffic through the global observer shim (Trace.record /
-   Sim.with_observer), so it must stay on one domain — never hand it to
-   the pool.  See the domain-safety contract in lib/congest/sim.mli. *)
-let a5 () =
+(* A5 tallies traffic through a per-run [?observer] closure over
+   task-local arrays, so the three sizes fan out on the domain pool like
+   every other sweep (the old global Trace/with_observer shim pinned this
+   experiment to one domain). *)
+let a5 ~jobs () =
   header "A5 (node congestion)"
     "does any node become a traffic hotspot?  max per-node traffic should stay within polylog of the average";
   Format.printf "%6s %12s %12s %14s@." "n" "messages" "avg/node"
     "hottest node";
-  let ok = ref true in
-  List.iter
-    (fun n ->
-      let r = Rng.create (1400 + n) in
-      let g = Gen.random_connected r ~n ~extra_edges:n ~max_w:10 in
-      let labels = Gen.random_labels r ~n ~t:12 ~k:4 in
-      let inst = Instance.make_ic g labels in
-      let per_node = Array.make n 0 in
-      let _, trace =
-        Dsf_congest.Trace.record (fun () ->
-            let res =
-              Dsf_core.Rand_dsf.run ~repetitions:1 ~rng:(Rng.create n) inst
-            in
-            if not (Instance.is_feasible inst res.Dsf_core.Rand_dsf.solution)
-            then ok := false)
-      in
-      Hashtbl.iter
-        (fun (src, dst) bits ->
+  let rows =
+    Pool.map_chunked ~jobs
+      (fun n ->
+        let r = Rng.create (1400 + n) in
+        let g = Gen.random_connected r ~n ~extra_edges:n ~max_w:10 in
+        let labels = Gen.random_labels r ~n ~t:12 ~k:4 in
+        let inst = Instance.make_ic g labels in
+        let per_node = Array.make n 0 in
+        let messages = ref 0 and total_bits = ref 0 in
+        let observer ~src ~dst ~bits =
+          incr messages;
+          total_bits := !total_bits + bits;
           per_node.(src) <- per_node.(src) + bits;
-          per_node.(dst) <- per_node.(dst) + bits)
-        (Dsf_congest.Trace.edge_bits trace);
-      let total = Dsf_congest.Trace.bits trace in
-      let avg = 2. *. float_of_int total /. float_of_int n in
+          per_node.(dst) <- per_node.(dst) + bits
+        in
+        let res =
+          Dsf_core.Rand_dsf.run ~observer ~repetitions:1 ~rng:(Rng.create n)
+            inst
+        in
+        let feasible =
+          Instance.is_feasible inst res.Dsf_core.Rand_dsf.solution
+        in
+        n, !messages, !total_bits, per_node, feasible)
+      [| 40; 80; 160 |]
+  in
+  let ok = ref true in
+  Array.iter
+    (fun (n, messages, total_bits, per_node, feasible) ->
+      if not feasible then ok := false;
+      let avg = 2. *. float_of_int total_bits /. float_of_int n in
       let hottest = Array.fold_left max 0 per_node in
       (* Hotspot factor bounded by ~log^2 n: the virtual-tree root and BFS
          root concentrate traffic, but only polylogarithmically. *)
       let logn = log (float_of_int n) /. log 2. in
       if float_of_int hottest > 12. *. logn *. avg then ok := false;
-      Format.printf "%6d %12d %12.0f %14d@." n
-        (Dsf_congest.Trace.messages trace)
-        avg hottest)
-    [ 40; 80; 160 ];
+      Format.printf "%6d %12d %12.0f %14d@." n messages avg hottest)
+    rows;
   verdict "A5" !ok
+
+(* ------------------------------------------------------------------- A6 *)
+
+let a6 ~jobs () =
+  header "A6 (hardening overhead vs drop probability)"
+    "what do the sequence numbers, acks and retransmissions of Fault.harden cost as the network gets lossier?";
+  Format.printf "%8s %10s %10s %10s %10s %10s %8s@." "drop p" "rounds"
+    "x rounds" "messages" "x msgs" "retrans" "masked";
+  let r = Rng.create 4646 in
+  let g = Gen.random_connected r ~n:28 ~extra_edges:24 ~max_w:8 in
+  let proto = Dsf_congest.Leader.protocol g in
+  let lossless, base = Dsf_congest.Sim.run g proto in
+  (* The plan's PRF makes every point deterministic, so the sweep fans
+     out on the pool and still prints in p order. *)
+  let rows =
+    Pool.map_chunked ~jobs
+      (fun p ->
+        let plan =
+          if p = 0.0 then Dsf_congest.Fault.empty
+          else
+            Dsf_congest.Fault.plan ~drop:p ~duplicate:(p /. 2.)
+              ~seed:(4600 + int_of_float (p *. 100.))
+              ()
+        in
+        let states, stats = Dsf_congest.Fault.run_hardened ~plan g proto in
+        p, states, stats)
+      [| 0.0; 0.05; 0.1; 0.2; 0.3 |]
+  in
+  (* The hardening overhead goes on a ledger like any other simulated
+     phase, so the cost is recorded in the same currency as the
+     algorithms' round budgets. *)
+  let ledger = Ledger.create () in
+  Ledger.add ledger Ledger.Simulated "A6: lossless baseline"
+    base.Dsf_congest.Sim.rounds;
+  let ok = ref true in
+  let max_p_retrans = ref 0 in
+  Array.iter
+    (fun (p, states, (stats : Dsf_congest.Sim.stats)) ->
+      let masked = states = lossless in
+      if not masked then ok := false;
+      if p >= 0.29 then max_p_retrans := stats.Dsf_congest.Sim.retransmissions;
+      Ledger.add ledger Ledger.Simulated
+        (Printf.sprintf "A6: hardened drop=%.2f" p)
+        stats.Dsf_congest.Sim.rounds;
+      Format.printf "%8.2f %10d %10.1f %10d %10.1f %10d %8s@." p
+        stats.Dsf_congest.Sim.rounds
+        (float_of_int stats.Dsf_congest.Sim.rounds
+        /. float_of_int base.Dsf_congest.Sim.rounds)
+        stats.Dsf_congest.Sim.messages
+        (float_of_int stats.Dsf_congest.Sim.messages
+        /. float_of_int base.Dsf_congest.Sim.messages)
+        stats.Dsf_congest.Sim.retransmissions
+        (if masked then "yes" else "NO"))
+    rows;
+  Format.printf
+    "lossless %d rounds; ledger total across the sweep %d simulated rounds@."
+    base.Dsf_congest.Sim.rounds (Ledger.total ledger);
+  (* PASS = every plan fully masked AND lossiness visibly costs resends. *)
+  verdict "A6" (!ok && !max_p_retrans > 0)
 
 (* ------------------------------------------------------------------ E13 *)
 
@@ -305,6 +371,7 @@ let run_all ~jobs () =
   a2 ~jobs ();
   a3 ();
   a4 ();
-  a5 ();
+  a5 ~jobs ();
+  a6 ~jobs ();
   e12 ();
   e13 ~jobs ()

@@ -2,11 +2,14 @@
 
    dune exec bench/main.exe                -- run everything
    dune exec bench/main.exe -- tables      -- per-theorem experiments (E1-E11, F1)
-   dune exec bench/main.exe -- ablations   -- design-choice ablations (A1-A4, E12)
+   dune exec bench/main.exe -- ablations   -- design-choice ablations (A1-A6, E12)
    dune exec bench/main.exe -- micro       -- bechamel microbenchmarks
                                               (writes BENCH_sim.json)
    dune exec bench/main.exe -- smoke       -- fast simulator-only benchmarks
                                               for CI (writes BENCH_sim.json)
+   dune exec bench/main.exe -- chaos       -- hardened-vs-lossless differential
+                                              smoke under a fixed fault plan
+                                              (exits nonzero on divergence)
 
    Options (after the mode):
      --jobs N, -j N   domains for the pooled sweeps and trial fan-outs
@@ -17,7 +20,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|ablations|micro|smoke] [--jobs N] [--out PATH]";
+    "usage: main.exe [all|tables|ablations|micro|smoke|chaos] [--jobs N] [--out PATH]";
   exit 2
 
 let () =
@@ -47,4 +50,5 @@ let () =
   if what = "all" || what = "ablations" then Ablations.run_all ~jobs ();
   if what = "all" || what = "micro" then Micro.run ~jobs ~out ();
   if what = "smoke" then Micro.smoke ~jobs ~out ();
+  if what = "all" || what = "chaos" then Chaos.run ();
   Format.printf "@.done.@."

@@ -9,14 +9,16 @@
    - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
      measurement quota — fast enough for every-PR CI (bin/ci.sh).
 
-   Both modes write BENCH_sim.json (schema dsf-bench-sim/2: ns/run, minor GC
+   Both modes write BENCH_sim.json (schema dsf-bench-sim/3: ns/run, minor GC
    words/run, rounds/s, the active/reference speedups, plus provenance —
-   git_rev, utc_date, jobs, cores — and a parallel_scaling section timing
-   the pooled fan-outs at jobs = 1 / 2 / max) so later PRs can diff
-   simulator performance against this one.  Each parallel_scaling workload
-   carries a deterministic "check" value that must not depend on jobs;
-   bin/ci.sh diffs the non-timing fields of a --jobs 1 and a --jobs 2 run
-   to enforce that. *)
+   git_rev, utc_date, jobs, cores — a parallel_scaling section timing
+   the pooled fan-outs at jobs = 1 / 2 / max, and a fault_overhead section
+   tabulating the round/message/retransmission cost of Fault.harden at
+   increasing drop probability) so later PRs can diff simulator
+   performance against this one.  Each parallel_scaling workload carries a
+   deterministic "check" value that must not depend on jobs, and every
+   fault_overhead field is PRF-deterministic; bin/ci.sh diffs the
+   non-timing fields of a --jobs 1 and a --jobs 2 run to enforce that. *)
 
 open Bechamel
 open Toolkit
@@ -370,6 +372,57 @@ let print_scaling scaling =
         s.runs)
     scaling
 
+(* --------------------------------------------------------- fault overhead *)
+
+(* Hardening overhead at increasing drop probability: a hardened leader
+   flood on the shared graph vs its lossless baseline.  Every field is
+   counted rounds/messages driven by the plan's PRF — no wall clock — so
+   the section is deterministic and jobs-invariant, and the ci.sh diff
+   covers it without stripping. *)
+
+type fault_row = {
+  drop : float;
+  lossless_rounds : int;
+  hardened_rounds : int;
+  hardened_messages : int;
+  retransmissions : int;
+  fdropped : int;
+  masked : bool;
+}
+
+let fault_overhead () =
+  let g = Lazy.force shared_graph in
+  let proto = Dsf_congest.Leader.protocol g in
+  let lossless, base = Sim.run g proto in
+  List.map
+    (fun drop ->
+      let plan =
+        if drop = 0. then Dsf_congest.Fault.empty
+        else Dsf_congest.Fault.plan ~drop ~seed:808 ()
+      in
+      let states, stats = Dsf_congest.Fault.run_hardened ~plan g proto in
+      {
+        drop;
+        lossless_rounds = base.Sim.rounds;
+        hardened_rounds = stats.Sim.rounds;
+        hardened_messages = stats.Sim.messages;
+        retransmissions = stats.Sim.retransmissions;
+        fdropped = stats.Sim.dropped;
+        masked = states = lossless;
+      })
+    [ 0.0; 0.1; 0.3 ]
+
+let print_fault_overhead fo =
+  Format.printf "@.%-20s %10s %14s %10s %10s %8s@." "fault overhead" "drop p"
+    "rounds (vs)" "messages" "retrans" "masked";
+  List.iter
+    (fun f ->
+      Format.printf "%-20s %10.2f %8d (%4d) %10d %10d %8s@." "hardened leader"
+        f.drop f.hardened_rounds f.lossless_rounds f.hardened_messages
+        f.retransmissions
+        (if f.masked then "yes" else "NO"))
+    fo
+
 (* --------------------------------------------------------------- metadata *)
 
 let git_rev () =
@@ -426,10 +479,10 @@ let json_float x =
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
   else Printf.sprintf "%.1f" x
 
-let write_json ~mode ~jobs rows sp scaling path =
+let write_json ~mode ~jobs rows sp scaling fo path =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"schema\": \"dsf-bench-sim/2\",\n  \"mode\": %S,\n" mode;
+  p "{\n  \"schema\": \"dsf-bench-sim/3\",\n  \"mode\": %S,\n" mode;
   p "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   p "  \"utc_date\": \"%s\",\n" (utc_date ());
   p "  \"jobs\": %d,\n" jobs;
@@ -478,6 +531,17 @@ let write_json ~mode ~jobs rows sp scaling path =
         s.runs;
       p "]}%s\n" (if i = List.length scaling - 1 then "" else ","))
     scaling;
+  p "  ],\n  \"fault_overhead\": [\n";
+  List.iteri
+    (fun i f ->
+      p
+        "    {\"drop\": %.2f, \"lossless_rounds\": %d, \"hardened_rounds\": \
+         %d, \"hardened_messages\": %d, \"retransmissions\": %d, \
+         \"dropped\": %d, \"states_match\": %b}%s\n"
+        f.drop f.lossless_rounds f.hardened_rounds f.hardened_messages
+        f.retransmissions f.fdropped f.masked
+        (if i = List.length fo - 1 then "" else ","))
+    fo;
   p "  ]\n}\n";
   close_out oc;
   Format.printf "@.wrote %s@." path
@@ -492,7 +556,9 @@ let run ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_speedups sp;
   let scaling = measure_scaling () in
   print_scaling scaling;
-  write_json ~mode:"micro" ~jobs rows sp scaling out
+  let fo = fault_overhead () in
+  print_fault_overhead fo;
+  write_json ~mode:"micro" ~jobs rows sp scaling fo out
 
 let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   Format.printf "@.=== Simulator smoke benchmarks (CI) ===@.";
@@ -502,4 +568,6 @@ let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_speedups sp;
   let scaling = measure_scaling () in
   print_scaling scaling;
-  write_json ~mode:"smoke" ~jobs rows sp scaling out
+  let fo = fault_overhead () in
+  print_fault_overhead fo;
+  write_json ~mode:"smoke" ~jobs rows sp scaling fo out

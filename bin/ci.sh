@@ -1,23 +1,43 @@
 #!/usr/bin/env sh
 # Per-PR check: build, full test suite (including the simulator
-# differential suite), and the fast simulator benchmark smoke path so the
-# bench harness and JSON emission are exercised on every change.
+# differential suite), the chaos smoke (hardened-vs-lossless differential
+# under a fixed fault plan), and the fast simulator benchmark smoke path
+# so the bench harness and JSON emission are exercised on every change.
 #
 # The smoke bench runs twice — --jobs 1 and --jobs 2 — and the two JSONs
 # are diffed with the measured-time fields stripped: the domain pool may
 # change wall time only, never a measured quantity (rounds, names,
-# parallel_scaling checks).  A diff here means the trial engine leaked
-# nondeterminism; see the domain-safety contract in lib/congest/sim.mli.
+# parallel_scaling checks, the fault_overhead table).  A diff here means
+# the trial engine leaked nondeterminism; see the domain-safety contract
+# in lib/congest/sim.mli.
+#
+# Every bench/smoke invocation runs under a hard wall-clock timeout: a
+# hardened run that retransmits forever (or a pool that wedges on a dead
+# worker) must fail CI loudly instead of hanging it.
 set -eu
 cd "$(dirname "$0")/.."
 
-dune build
-dune runtest
+# coreutils timeout when available; plain exec otherwise (dev machines
+# without it still get the functional checks).
+if command -v timeout >/dev/null 2>&1; then
+  with_timeout() { secs="$1"; shift; timeout "$secs" "$@"; }
+else
+  with_timeout() { shift; "$@"; }
+fi
+
+with_timeout 900 dune build
+with_timeout 900 dune runtest
 
 scratch=_build/ci
 mkdir -p "$scratch"
-dune exec bench/main.exe -- smoke --jobs 1 --out "$scratch/bench_j1.json"
-dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/bench_j2.json"
+
+# Chaos smoke: every stock protocol hardened under a fixed drop plan must
+# reproduce its lossless final states; main.exe exits nonzero on
+# divergence, the timeout catches a retransmit livelock.
+with_timeout 300 dune exec bench/main.exe -- chaos
+
+with_timeout 600 dune exec bench/main.exe -- smoke --jobs 1 --out "$scratch/bench_j1.json"
+with_timeout 600 dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/bench_j2.json"
 
 # Strip timings and the fields that legitimately differ between the runs
 # (jobs, utc_date); everything left must match exactly.

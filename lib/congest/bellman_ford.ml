@@ -25,7 +25,7 @@ let inf = max_int / 4
    (Definition 4.6 tie-breaking), then fewer hops. *)
 let better (d1, s1, h1) (d2, s2, h2) = (d1, s1, h1) < (d2, s2, h2)
 
-let run ?weight_of ?radius ?max_rounds g ~sources =
+let protocol ?weight_of ?radius g ~sources =
   let n = Graph.n g in
   let weight_of =
     match weight_of with
@@ -92,7 +92,12 @@ let run ?weight_of ?radius ?max_rounds g ~sources =
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?max_rounds g proto in
+  proto
+
+let run ?weight_of ?radius ?max_rounds ?observer g ~sources =
+  let n = Graph.n g in
+  let proto = protocol ?weight_of ?radius g ~sources in
+  let states, stats = Sim.run ?max_rounds ?observer g proto in
   let dist = Array.make n max_int in
   let src_of = Array.make n (-1) in
   let parent = Array.make n (-1) in
@@ -108,4 +113,4 @@ let run ?weight_of ?radius ?max_rounds g ~sources =
     states;
   { dist; src_of; parent; hops; rounds = stats.Sim.rounds }, stats
 
-let sssp g ~src = run g ~sources:[ src, 0 ]
+let sssp ?observer g ~src = run ?observer g ~sources:[ src, 0 ]

@@ -21,10 +21,23 @@ type result = {
   rounds : int;
 }
 
+type state
+type msg
+
+val protocol :
+  ?weight_of:(int -> int) ->
+  ?radius:int ->
+  Dsf_graph.Graph.t ->
+  sources:(int * int) list ->
+  (state, msg) Sim.protocol
+(** The raw relaxation protocol, exposed for the chaos differential suite
+    (hardened-vs-lossless final-state comparison via {!Fault.harden}). *)
+
 val run :
   ?weight_of:(int -> int) ->
   ?radius:int ->
   ?max_rounds:int ->
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   sources:(int * int) list ->
   result * Sim.stats
@@ -34,4 +47,5 @@ val run :
     path of distance > [r].  Ties are broken towards the smaller source id,
     then the smaller parent id. *)
 
-val sssp : Dsf_graph.Graph.t -> src:int -> result * Sim.stats
+val sssp :
+  ?observer:Sim.observer -> Dsf_graph.Graph.t -> src:int -> result * Sim.stats

@@ -13,14 +13,8 @@ type state = { parent : int option; depth : int; announced : bool }
 
 type msg = Join of int  (** sender's depth *)
 
-let build g ~root =
-  let n = Graph.n g in
-  (* Precondition check: on a disconnected graph the flood never reaches
-     everyone and the simulation would spin to its round limit. *)
-  if not (Graph.is_connected g) then
-    invalid_arg "Bfs.build: disconnected graph";
-  let proto : (state, msg) Sim.protocol =
-    {
+let protocol ~root : (state, msg) Sim.protocol =
+  {
       init =
         (fun view ->
           if view.Sim.node = root then
@@ -59,9 +53,15 @@ let build g ~root =
       (* Unreached nodes are not done; reached-and-announced nodes only
          react to mail. *)
       wake = Some Sim.never;
-    }
-  in
-  let states, stats = Sim.run g proto in
+  }
+
+let build ?observer g ~root =
+  let n = Graph.n g in
+  (* Precondition check: on a disconnected graph the flood never reaches
+     everyone and the simulation would spin to its round limit. *)
+  if not (Graph.is_connected g) then
+    invalid_arg "Bfs.build: disconnected graph";
+  let states, stats = Sim.run ?observer g (protocol ~root) in
   let parent = Array.make n (-1) in
   let depth = Array.make n 0 in
   Array.iteri

@@ -10,8 +10,20 @@ type tree = {
   height : int;  (** max depth = eccentricity of the root *)
 }
 
-val build : Dsf_graph.Graph.t -> root:int -> tree * Sim.stats
-(** Raises [Invalid_argument] if the graph is disconnected. *)
+type state
+type msg
+
+val protocol : root:int -> (state, msg) Sim.protocol
+(** The raw flood protocol, exposed for the chaos differential suite
+    (hardened-vs-lossless final-state comparison via {!Fault.harden}).
+    Note the parent choice is timing-sensitive: a node adopts the
+    smallest-id neighbor heard from in the {e first} round a Join
+    arrives. *)
+
+val build :
+  ?observer:Sim.observer -> Dsf_graph.Graph.t -> root:int -> tree * Sim.stats
+(** Raises [Invalid_argument] if the graph is disconnected.  [observer]
+    taps this run's messages (per-run, domain-safe). *)
 
 val max_id_root : Dsf_graph.Graph.t -> int
 (** The conventional root choice of the paper's appendix: the node with the

@@ -8,6 +8,7 @@
     stabilizes in ~d rounds, all components in parallel. *)
 
 val gossip_extremum :
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   mask:bool array ->
   values:(int -> 'a option) ->
@@ -18,11 +19,16 @@ val gossip_extremum :
     node, the extremum (w.r.t. [better x y] = "x beats y") of [values]
     over its mask-component ([None] if no member has a value). *)
 
-val leaders : Dsf_graph.Graph.t -> mask:bool array -> int array * Sim.stats
+val leaders :
+  ?observer:Sim.observer ->
+  Dsf_graph.Graph.t ->
+  mask:bool array ->
+  int array * Sim.stats
 (** Per-node maximum node id in its mask-component — the moat/cluster
     leader convention of the paper's appendix. *)
 
 val component_min_item :
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   mask:bool array ->
   values:(int -> 'a option) ->

@@ -1,20 +1,20 @@
 module Graph = Dsf_graph.Graph
 
-let all_neighbors g ~payload_bits =
-  let proto : (bool, unit) Sim.protocol =
-    {
-      init = (fun _ -> false);
-      step =
-        (fun view ~round:_ sent ~inbox:_ ->
-          if sent then true, []
-          else
-            ( true,
-              Array.to_list view.Sim.nbrs
-              |> List.map (fun (nb, _, _) -> nb, ()) ));
-      is_done = Fun.id;
-      msg_bits = (fun () -> payload_bits);
-      wake = Some Sim.never;
-    }
-  in
-  let _, stats = Sim.run g proto in
+let protocol ~payload_bits : (bool, unit) Sim.protocol =
+  {
+    init = (fun _ -> false);
+    step =
+      (fun view ~round:_ sent ~inbox:_ ->
+        if sent then true, []
+        else
+          ( true,
+            Array.to_list view.Sim.nbrs
+            |> List.map (fun (nb, _, _) -> nb, ()) ));
+    is_done = Fun.id;
+    msg_bits = (fun () -> payload_bits);
+    wake = Some Sim.never;
+  }
+
+let all_neighbors ?observer ?faults g ~payload_bits =
+  let _, stats = Sim.run ?observer ?faults g (protocol ~payload_bits) in
   stats

@@ -4,7 +4,18 @@
     the Appendix E.1 algorithm) to let boundary edges discover the two
     regions they straddle. *)
 
+val protocol : payload_bits:int -> (bool, unit) Sim.protocol
+(** The raw protocol (state = "have I sent yet").  Self-stabilizing under
+    crash-and-restart: a restarted node re-inits to [false] and simply
+    re-sends, so every node that survives to quiescence has sent. *)
+
 val all_neighbors :
-  Dsf_graph.Graph.t -> payload_bits:int -> Sim.stats
+  ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
+  Dsf_graph.Graph.t ->
+  payload_bits:int ->
+  Sim.stats
 (** Simulates the exchange; [payload_bits] is the per-message size (for a
-    region announcement: owner id + offset + activity bit). *)
+    region announcement: owner id + offset + activity bit).  [observer]
+    taps the run per-run (domain-safe); [faults] injects a fault plan
+    (see {!Fault}). *)

@@ -1,0 +1,303 @@
+module Graph = Dsf_graph.Graph
+module Bitsize = Dsf_util.Bitsize
+
+(* ----------------------------------------------------------------------- *)
+(* Plans: a pure, seeded description of how the network misbehaves.         *)
+(* ----------------------------------------------------------------------- *)
+
+type plan = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  link_down : (int * int * int * int) list;
+  crashes : (int * int * int) list;
+}
+
+let empty = { seed = 0; drop = 0.; duplicate = 0.; link_down = []; crashes = [] }
+
+let plan ?(drop = 0.) ?(duplicate = 0.) ?(link_down = []) ?(crashes = []) ~seed
+    () =
+  if drop < 0. || drop >= 1. then
+    invalid_arg "Fault.plan: drop probability must be in [0, 1)";
+  if duplicate < 0. || duplicate > 1. then
+    invalid_arg "Fault.plan: duplicate probability must be in [0, 1]";
+  List.iter
+    (fun (u, v, r0, r1) ->
+      if u = v || r0 < 0 || r1 < r0 then
+        invalid_arg "Fault.plan: bad link_down window")
+    link_down;
+  List.iter
+    (fun (v, c, r) ->
+      if v < 0 || c < 0 || r <= c then
+        invalid_arg "Fault.plan: restart round must be after the crash round")
+    crashes;
+  { seed; drop; duplicate; link_down; crashes }
+
+let is_empty p =
+  p.drop = 0. && p.duplicate = 0. && p.link_down = [] && p.crashes = []
+
+let drop_only p = p.crashes = [] && p.link_down = []
+
+(* Stateless PRF: every (round, src, dst, salt) tuple hashes to an
+   independent-looking uniform draw, so fault decisions are deterministic
+   in the plan's seed alone — independent of send order, of the engine's
+   iteration order, and of how much unrelated traffic the run carries.
+   splitmix64-style finalizer over OCaml's 63-bit ints. *)
+let mix z =
+  let z = z lxor (z lsr 30) in
+  let z = z * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 27) in
+  let z = z * 0x1B03738712FAD5C9 in
+  z lxor (z lsr 31)
+
+let prf ~seed ~round ~src ~dst ~salt =
+  mix
+    (mix (seed + (salt * 0x1E3779B97F4A7C15))
+    + mix ((round * 0x100003) lxor (src * 0x10001) lxor dst))
+  land max_int
+
+let uniform h = float_of_int h /. float_of_int max_int
+
+let instantiate p : Sim.faults =
+  let links = Hashtbl.create (max 4 (List.length p.link_down)) in
+  List.iter
+    (fun (u, v, r0, r1) ->
+      let key = (min u v, max u v) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt links key) in
+      Hashtbl.replace links key ((r0, r1) :: prev))
+    p.link_down;
+  let link_is_down ~round ~src ~dst =
+    Hashtbl.length links > 0
+    &&
+    match Hashtbl.find_opt links (min src dst, max src dst) with
+    | None -> false
+    | Some ws -> List.exists (fun (r0, r1) -> round >= r0 && round <= r1) ws
+  in
+  let on_send ~round ~src ~dst =
+    if link_is_down ~round ~src ~dst then Sim.Drop
+    else if
+      p.drop > 0. && uniform (prf ~seed:p.seed ~round ~src ~dst ~salt:1) < p.drop
+    then Sim.Drop
+    else if
+      p.duplicate > 0.
+      && uniform (prf ~seed:p.seed ~round ~src ~dst ~salt:2) < p.duplicate
+    then Sim.Replicate 2
+    else Sim.Deliver
+  in
+  let down ~round ~node =
+    List.exists (fun (v, c, r) -> v = node && round >= c && round < r) p.crashes
+  in
+  { Sim.on_send; down; retransmissions = ref 0 }
+
+(* ----------------------------------------------------------------------- *)
+(* The hardening combinator: a reliable link layer plus an alpha-           *)
+(* synchronizer, so the wrapped protocol executes its lossless round        *)
+(* schedule exactly — inbox contents, arrival rounds and delivery order    *)
+(* included — no matter how many messages the network drops or clones.     *)
+(* ----------------------------------------------------------------------- *)
+
+(* Stream items carried by the link layer.  [Fin r] closes the sender's
+   contribution to the receiver's virtual round [r]: "everything you should
+   consume in your inner round r has been sent".  Virtual round r is safe to
+   execute once every incident link has delivered its [Fin r]. *)
+type 'm item = Payload of { vround : int; body : 'm } | Fin of { vround : int }
+
+type 'm packet = Pkt of { seq : int; item : 'm item } | Ack of { upto : int }
+
+type ('s, 'm) hstate = {
+  mutable inner : 's;
+  mutable vround : int;  (** next inner round to execute *)
+  links : int array;  (** neighbor ids, ascending *)
+  idx : (int, int) Hashtbl.t;  (** neighbor id -> index in [links] *)
+  next_seq : int array;  (** per link: next sequence number to assign *)
+  outq : (int * 'm item) list array;
+      (** per link: unacked items, ascending seq (go-back-N window) *)
+  last_tx : int array;  (** per link: round of the last transmission *)
+  rto : int array;  (** per link: current retransmit timeout, in rounds *)
+  in_upto : int array;  (** per link: highest in-order seq received *)
+  fin_upto : int array;  (** per link: highest vround closed by a Fin *)
+  pending : (int * 'm) list array;
+      (** per link: delivered payloads not yet consumed, arrival order *)
+  need_ack : bool array;
+  mutable retrans : int;  (** this node's total retransmitted packets *)
+}
+
+let inner st = st.inner
+let retransmissions_of states =
+  Array.fold_left (fun acc st -> acc + st.retrans) 0 states
+
+(* A node is virtually quiescent when its inner protocol is done, it holds
+   no unacknowledged payload (nothing of consequence in flight), and it has
+   consumed every payload delivered to it.  When this holds at *every*
+   node, the inner execution has reached exactly the lossless fixpoint
+   (under the sparse-wake no-op contract, see the .mli), so the omniscient
+   [halt] below may stop the run. *)
+let node_quiescent inner_is_done st =
+  inner_is_done st.inner
+  && Array.for_all
+       (fun q ->
+         List.for_all
+           (fun (_, it) -> match it with Payload _ -> false | Fin _ -> true)
+           q)
+       st.outq
+  && Array.for_all (fun l -> l = []) st.pending
+
+let quiescent proto states =
+  Array.for_all (node_quiescent proto.Sim.is_done) states
+
+let default_rto = 3
+let default_rto_cap = 32
+
+let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
+    (proto : ('s, 'm) Sim.protocol) :
+    (('s, 'm) hstate, 'm packet) Sim.protocol =
+  if rto < 3 then invalid_arg "Fault.harden: rto below the 2-round ack latency";
+  if rto_cap < rto then invalid_arg "Fault.harden: rto_cap < rto";
+  let global_retrans =
+    match faults with Some f -> Some f.Sim.retransmissions | None -> None
+  in
+  let init view =
+    let deg = Array.length view.Sim.nbrs in
+    let links = Array.map (fun (nb, _, _) -> nb) view.Sim.nbrs in
+    Array.sort compare links;
+    let idx = Hashtbl.create (max 4 deg) in
+    Array.iteri (fun i nb -> Hashtbl.replace idx nb i) links;
+    {
+      inner = proto.Sim.init view;
+      vround = 0;
+      links;
+      idx;
+      next_seq = Array.make deg 1;
+      outq = Array.make deg [];
+      last_tx = Array.make deg (-1);
+      rto = Array.make deg rto;
+      in_upto = Array.make deg 0;
+      fin_upto = Array.make deg 0;
+      pending = Array.make deg [];
+      need_ack = Array.make deg false;
+      retrans = 0;
+    }
+  in
+  let step view ~round:p st ~inbox =
+    let deg = Array.length st.links in
+    (* 1. Ingest packets: cumulative acks shrink the go-back-N windows;
+       in-order data advances the stream; duplicates and gaps are dropped
+       (gaps heal when the sender's timer resends the whole window). *)
+    List.iter
+      (fun (sender, pkt) ->
+        let j = Hashtbl.find st.idx sender in
+        match pkt with
+        | Ack { upto } ->
+            let before = st.outq.(j) in
+            let after = List.filter (fun (s, _) -> s > upto) before in
+            if List.compare_lengths after before < 0 then begin
+              st.outq.(j) <- after;
+              st.rto.(j) <- rto;
+              st.last_tx.(j) <- p
+            end
+        | Pkt { seq; item } ->
+            st.need_ack.(j) <- true;
+            if seq = st.in_upto.(j) + 1 then begin
+              st.in_upto.(j) <- seq;
+              match item with
+              | Payload { vround; body } ->
+                  st.pending.(j) <- st.pending.(j) @ [ (vround, body) ]
+              | Fin { vround } ->
+                  if vround > st.fin_upto.(j) then st.fin_upto.(j) <- vround
+            end)
+      inbox;
+    (* 2. Execute at most one inner (virtual) round, once every link has
+       closed it.  The inner inbox is rebuilt exactly as both engines
+       deliver it: senders in ascending id order ([links] is sorted), each
+       sender's payloads in send order. *)
+    let fresh = Array.make (max deg 1) [] in
+    if Array.for_all (fun f -> f >= st.vround) st.fin_upto then begin
+      let r = st.vround in
+      let inbox_r = ref [] in
+      for j = deg - 1 downto 0 do
+        let mine, later = List.partition (fun (vr, _) -> vr = r) st.pending.(j) in
+        st.pending.(j) <- later;
+        inbox_r :=
+          List.fold_right
+            (fun (_, body) acc -> (st.links.(j), body) :: acc)
+            mine !inbox_r
+      done;
+      let inner', outbox = proto.Sim.step view ~round:r st.inner ~inbox:!inbox_r in
+      st.inner <- inner';
+      st.vround <- r + 1;
+      List.iter
+        (fun (dst, body) ->
+          let j =
+            match Hashtbl.find_opt st.idx dst with
+            | Some j -> j
+            | None -> invalid_arg "Fault.harden: message to non-neighbor"
+          in
+          let s = st.next_seq.(j) in
+          st.next_seq.(j) <- s + 1;
+          fresh.(j) <- fresh.(j) @ [ (s, Payload { vround = r + 1; body }) ])
+        outbox;
+      for j = 0 to deg - 1 do
+        let s = st.next_seq.(j) in
+        st.next_seq.(j) <- s + 1;
+        fresh.(j) <- fresh.(j) @ [ (s, Fin { vround = r + 1 }) ]
+      done
+    end;
+    (* 3. Transmit: new items go out immediately; an expired timer resends
+       the whole unacked window (in order, so go-back-N reception heals any
+       gap) with exponential backoff. *)
+    let packets = ref [] in
+    for j = deg - 1 downto 0 do
+      let dst = st.links.(j) in
+      if st.need_ack.(j) then begin
+        st.need_ack.(j) <- false;
+        packets := (dst, Ack { upto = st.in_upto.(j) }) :: !packets
+      end;
+      let had = st.outq.(j) in
+      let timed_out =
+        had <> [] && st.last_tx.(j) >= 0 && p - st.last_tx.(j) >= st.rto.(j)
+      in
+      st.outq.(j) <- had @ fresh.(j);
+      let to_send =
+        if timed_out then begin
+          let n_re = List.length had in
+          st.retrans <- st.retrans + n_re;
+          (match global_retrans with Some c -> c := !c + n_re | None -> ());
+          st.rto.(j) <- min (2 * st.rto.(j)) rto_cap;
+          st.outq.(j)
+        end
+        else fresh.(j)
+      in
+      if to_send <> [] then st.last_tx.(j) <- p;
+      List.iter
+        (fun (s, item) -> packets := (dst, Pkt { seq = s; item }) :: !packets)
+        (List.rev to_send)
+    done;
+    st, !packets
+  in
+  let packet_bits = function
+    | Ack { upto } -> 2 + Bitsize.int_bits (max 1 upto)
+    | Pkt { seq; item } -> (
+        2
+        + Bitsize.int_bits (max 1 seq)
+        +
+        match item with
+        | Fin { vround } -> Bitsize.int_bits (max 1 vround)
+        | Payload { vround; body } ->
+            Bitsize.int_bits (max 1 vround) + proto.Sim.msg_bits body)
+  in
+  {
+    Sim.init;
+    step;
+    is_done = node_quiescent proto.Sim.is_done;
+    msg_bits = packet_bits;
+    (* The synchronizer marches every physical round (timers, Fin markers),
+       so there is no sparse-activity story to declare. *)
+    wake = None;
+  }
+
+let run_hardened ?max_rounds ?rto ?rto_cap ?observer ?(plan = empty) g proto =
+  let faults = if is_empty plan then None else Some (instantiate plan) in
+  let hardened = harden ?rto ?rto_cap ?faults proto in
+  let halt = quiescent proto in
+  let states, stats = Sim.run ?max_rounds ~halt ?observer ?faults g hardened in
+  Array.map (fun st -> st.inner) states, stats

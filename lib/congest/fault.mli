@@ -1,0 +1,140 @@
+(** Deterministic fault injection and a self-healing protocol combinator.
+
+    This module answers "what happens when the CONGEST network misbehaves"
+    in two pieces:
+
+    - {b Plans}: a {!plan} is a pure, seeded description of faults —
+      per-message drop/duplication probabilities, per-round link outages,
+      node crash-and-restart windows.  {!instantiate} compiles a plan into
+      the callback record {!Sim.faults} that {!Sim.run}'s [?faults]
+      argument consumes.  Decisions are a stateless PRF of
+      [(seed, round, src, dst)], so a plan is bit-reproducible and
+      independent of send order — the same plan on the same run always
+      kills the same messages.
+
+    - {b Hardening}: {!harden} wraps any protocol in a reliable link layer
+      (per-neighbor sequence numbers, cumulative acks, go-back-N
+      retransmission with bounded timeout and exponential backoff,
+      duplicate suppression) plus an alpha-synchronizer: a node executes
+      its inner round [r] only after every neighbor has closed round [r]
+      with a [Fin] marker, and the inner inbox is rebuilt exactly as the
+      lossless engines deliver it (senders ascending, send order within a
+      sender).  Consequently, under {e any drop-only plan} (drop
+      probability < 1, duplication, finite link outages) the hardened
+      protocol reaches the {e same final states} as the unhardened
+      protocol on a lossless network — timing-sensitive protocols (e.g.
+      {!Bfs}'s first-arrival parent choice) included.  The chaos suite
+      ([test/test_chaos.ml]) enforces this differentially.
+
+    {b Scope of the guarantee.}  The inner protocol must (a) quiesce on a
+    lossless network and (b) satisfy the sparse-wake no-op contract of
+    {!Sim} (stepping a done node with an empty inbox is a no-op) — all the
+    repo's protocols qualify.  Crash-and-restart faults are {e not}
+    masked: a restart wipes the link-layer state (sequence numbers,
+    windows), which desynchronizes the streams; hardened runs under crash
+    plans typically end in a {!Sim.Round_limit} post-mortem.  Byzantine
+    behavior (corrupted or forged messages) is outside the model entirely.
+
+    {b Termination.}  A hardened network never goes globally silent (Fin
+    markers and timers keep marching), so a hardened run must be stopped
+    by the omniscient {!quiescent} halt — virtual quiescence: every inner
+    state done, no unacked payload, no unconsumed payload.  That is the
+    repo's usual omniscient-halt convention ({!Sim.run}'s [?halt]); a
+    real deployment would detect it with an O(D) termination-detection
+    wave, which callers should charge to their ledger.
+    {!run_hardened} wires the halt (and the plan) for you. *)
+
+type plan = {
+  seed : int;
+  drop : float;  (** per-message drop probability, in [0, 1) *)
+  duplicate : float;  (** per-message duplication probability, in [0, 1] *)
+  link_down : (int * int * int * int) list;
+      (** [(u, v, first, last)]: both directions of edge u-v drop
+          everything in rounds [first..last] (inclusive) *)
+  crashes : (int * int * int) list;
+      (** [(node, crash, restart)]: the node is down in rounds
+          [crash..restart-1]; on round [restart] it re-inits from scratch *)
+}
+
+val empty : plan
+(** No faults at all.  [Sim.run ?faults:(Some (instantiate empty))] is
+    bit-identical to [Sim.run] without faults (the differential suite
+    checks this). *)
+
+val plan :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?link_down:(int * int * int * int) list ->
+  ?crashes:(int * int * int) list ->
+  seed:int ->
+  unit ->
+  plan
+(** Validating constructor; all fault classes default to "off". *)
+
+val is_empty : plan -> bool
+
+val drop_only : plan -> bool
+(** No crashes and no link outages: the class of plans {!harden} fully
+    masks (message drops and duplications only). *)
+
+val instantiate : plan -> Sim.faults
+(** Compile the plan into the engine's callback record.  The record owns
+    the run's retransmission counter, so use a fresh instance per run
+    (sharing one across runs only smears the counter; the decisions
+    themselves are stateless). *)
+
+(** {2 Hardening} *)
+
+type 'm item = Payload of { vround : int; body : 'm } | Fin of { vround : int }
+
+type 'm packet = Pkt of { seq : int; item : 'm item } | Ack of { upto : int }
+(** The wire format of a hardened protocol: sequenced stream items
+    (payloads tagged with their virtual round, plus round-closing [Fin]
+    markers) and cumulative acknowledgements. *)
+
+type ('s, 'm) hstate
+(** Hardened per-node state: the inner ['s] plus the link-layer windows. *)
+
+val inner : ('s, 'm) hstate -> 's
+(** The wrapped protocol's state (final inner states after a run). *)
+
+val retransmissions_of : ('s, 'm) hstate array -> int
+(** Total packets retransmitted across all nodes (also surfaced as
+    [stats.retransmissions] when a faults record is passed to the run). *)
+
+val harden :
+  ?rto:int ->
+  ?rto_cap:int ->
+  ?faults:Sim.faults ->
+  ('s, 'm) Sim.protocol ->
+  (('s, 'm) hstate, 'm packet) Sim.protocol
+(** Wrap a protocol with the reliable link layer + synchronizer.  [rto]
+    (default 3) is the initial per-link retransmit timeout in rounds —
+    it must cover the 2-round send/ack latency — doubling on every
+    timeout up to [rto_cap] (default 32) and resetting on ack progress.
+    [faults] is the same record handed to {!Sim.run}; passing it lets the
+    wrapper report resends into [stats.retransmissions].
+
+    The result never goes silent on its own: run it with the
+    {!quiescent} halt (or use {!run_hardened}). *)
+
+val quiescent : ('s, 'm) Sim.protocol -> ('s, 'm) hstate array -> bool
+(** Virtual quiescence of a hardened run of [proto] — the halt predicate:
+    every node's inner state is done, no payload is unacknowledged, no
+    delivered payload is unconsumed.  When it fires, the inner states are
+    exactly the lossless final states. *)
+
+val run_hardened :
+  ?max_rounds:int ->
+  ?rto:int ->
+  ?rto_cap:int ->
+  ?observer:Sim.observer ->
+  ?plan:plan ->
+  Dsf_graph.Graph.t ->
+  ('s, 'm) Sim.protocol ->
+  's array * Sim.stats
+(** Convenience wiring: instantiate the plan (default {!empty}), harden
+    the protocol, run it under the faults with the {!quiescent} halt, and
+    unwrap the inner final states.  The stats are the {e hardened} run's
+    (packet traffic, drops, retransmissions); compare with the lossless
+    run's stats to measure the overhead. *)

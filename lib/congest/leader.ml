@@ -5,34 +5,43 @@ type result = {
   leader : int;
   rounds : int;
   messages : int;
+  agreed : bool;
 }
 
 type state = { best : int; dirty : bool }
 
-let elect g =
+let protocol g : (state, int) Sim.protocol =
   let n = Graph.n g in
-  let proto : (state, int) Sim.protocol =
-    {
-      init = (fun view -> { best = view.Sim.node; dirty = true });
-      step =
-        (fun view ~round:_ st ~inbox ->
-          let st =
-            List.fold_left
-              (fun st (_, cand) ->
-                if cand > st.best then { best = cand; dirty = true } else st)
-              st inbox
-          in
-          if st.dirty then
-            ( { st with dirty = false },
-              Array.to_list view.Sim.nbrs
-              |> List.map (fun (nb, _, _) -> nb, st.best) )
-          else st, []);
-      is_done = (fun st -> not st.dirty);
-      msg_bits = (fun _ -> Bitsize.id_bits ~n);
-      wake = Some Sim.never;
-    }
-  in
-  let states, stats = Sim.run g proto in
-  let leader = states.(0).best in
-  Array.iter (fun st -> assert (st.best = leader)) states;
-  { leader; rounds = stats.Sim.rounds; messages = stats.Sim.messages }
+  {
+    init = (fun view -> { best = view.Sim.node; dirty = true });
+    step =
+      (fun view ~round:_ st ~inbox ->
+        let st =
+          List.fold_left
+            (fun st (_, cand) ->
+              if cand > st.best then { best = cand; dirty = true } else st)
+            st inbox
+        in
+        if st.dirty then
+          ( { st with dirty = false },
+            Array.to_list view.Sim.nbrs
+            |> List.map (fun (nb, _, _) -> nb, st.best) )
+        else st, []);
+    is_done = (fun st -> not st.dirty);
+    msg_bits = (fun _ -> Bitsize.id_bits ~n);
+    wake = Some Sim.never;
+  }
+
+let elect ?observer ?faults g =
+  let states, stats = Sim.run ?observer ?faults g (protocol g) in
+  (* Under crash-and-restart faults agreement can silently break: a node
+     restarted after the max-id wave has passed re-floods its own id, its
+     done neighbors ignore the smaller candidate and never reply, and the
+     network quiesces with the restarted node stuck on a stale leader.
+     Surface that instead of asserting: [agreed] reports whether every
+     node ended on the same leader (always true in fault-free runs, which
+     the assert keeps enforcing). *)
+  let leader = Array.fold_left (fun acc st -> max acc st.best) min_int states in
+  let agreed = Array.for_all (fun st -> st.best = leader) states in
+  (match faults with None -> assert agreed | Some _ -> ());
+  { leader; rounds = stats.Sim.rounds; messages = stats.Sim.messages; agreed }

@@ -8,8 +8,23 @@ type result = {
   leader : int;
   rounds : int;
   messages : int;
+  agreed : bool;
+      (** every node ended on [leader].  Always [true] without faults
+          (asserted).  Under crash-and-restart plans the raw protocol does
+          {e not} guarantee agreement — a node restarted after the max-id
+          wave has passed quiesces on a stale leader — so faulted runs
+          report the breakage here instead of hiding it. *)
 }
 
-val elect : Dsf_graph.Graph.t -> result
+type state = { best : int; dirty : bool }
+
+val protocol : Dsf_graph.Graph.t -> (state, int) Sim.protocol
+(** The raw flood protocol, exposed for the chaos differential suite. *)
+
+val elect :
+  ?observer:Sim.observer -> ?faults:Sim.faults -> Dsf_graph.Graph.t -> result
 (** Requires a connected graph; the elected leader is the maximum node id
-    (= {!Bfs.max_id_root}), and every node knows it on termination. *)
+    (= {!Bfs.max_id_root}) and, absent faults, every node knows it on
+    termination.  [leader] is the maximum of the per-node answers (the
+    max-id node always believes in itself, so this is the true winner
+    even when [agreed] is false). *)

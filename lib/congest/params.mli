@@ -5,14 +5,19 @@
 
     All routines genuinely simulate; round counts come from the runs. *)
 
-val count_nodes : Dsf_graph.Graph.t -> int * int
+val count_nodes : ?observer:Sim.observer -> Dsf_graph.Graph.t -> int * int
 (** [n] by BFS-tree convergecast; returns (n, simulated rounds). *)
 
-val diameter_upper_bound : Dsf_graph.Graph.t -> int * int
+val diameter_upper_bound :
+  ?observer:Sim.observer -> Dsf_graph.Graph.t -> int * int
 (** 2-approximation of D: twice the BFS eccentricity of the max-id root;
     returns (bound, simulated rounds). *)
 
-val estimate_s : cap:int -> Dsf_graph.Graph.t -> [ `Stabilized of int | `Exceeded ] * int
+val estimate_s :
+  ?observer:Sim.observer ->
+  cap:int ->
+  Dsf_graph.Graph.t ->
+  [ `Stabilized of int | `Exceeded ] * int
 (** Run single-source Bellman-Ford from the max-id root until it
     stabilizes or [cap] rounds elapse.  [`Stabilized r] reports the
     stabilization round — a lower bound on (and in practice close to) the
@@ -20,6 +25,9 @@ val estimate_s : cap:int -> Dsf_graph.Graph.t -> [ `Stabilized of int | `Exceede
     the s-vs-sqrt(n) regime decision needs.  Second component: simulated
     rounds spent (at most cap + O(D) for detection). *)
 
-val regime : Dsf_graph.Graph.t -> [ `Small_s of int | `Large_s ] * int
+val regime :
+  ?observer:Sim.observer ->
+  Dsf_graph.Graph.t ->
+  [ `Small_s of int | `Large_s ] * int
 (** The Section 5 regime test: [`Small_s s] iff s stabilized within
     ceil(sqrt n) rounds.  Returns total simulated rounds (n-count + BF). *)

@@ -18,6 +18,7 @@ type 'k item = { key : 'k; a : int; b : int }
 (** Virtual endpoints [a], [b] in [0, vn). *)
 
 val filtered_upcast :
+  ?observer:Sim.observer ->
   ?stop_at_root:('k item list -> bool) ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->

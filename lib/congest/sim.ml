@@ -20,9 +20,28 @@ type stats = {
   total_bits : int;
   max_edge_round_bits : int;
   budget_violations : int;
+  dropped : int;
+  duplicated : int;
+  retransmissions : int;
 }
 
-exception Round_limit of int
+type fault_action = Deliver | Drop | Replicate of int
+
+type faults = {
+  on_send : round:int -> src:int -> dst:int -> fault_action;
+  down : round:int -> node:int -> bool;
+  retransmissions : int ref;
+}
+
+type abort = {
+  at_round : int;
+  snapshot : stats;
+  recent : (int * (int * int * int) list) list;
+}
+
+exception Round_limit of abort
+
+let postmortem_window = 8
 
 let never _ ~round:_ _ = false
 
@@ -108,12 +127,56 @@ let buf_drain b =
   b.len <- 0;
   l
 
+(* Ring buffer of the last [postmortem_window] rounds of raw (src, dst,
+   bits) traffic, kept by both engines so a {!Round_limit} abort can dump
+   where the messages were flowing when the protocol span out.  One
+   amortized-O(1) push per message; slots are recycled in place. *)
+type traffic_ring = {
+  slot_round : int array; (* round stored in each slot; -1 = empty *)
+  slots : (int * int) inbox_buf array; (* (src, (dst, bits)) *)
+}
+
+let ring_make () =
+  {
+    slot_round = Array.make postmortem_window (-1);
+    slots = Array.init postmortem_window (fun _ -> buf_make ());
+  }
+
+let ring_begin_round ring ~round =
+  let i = round mod postmortem_window in
+  ring.slot_round.(i) <- round;
+  ring.slots.(i).len <- 0
+
+let ring_push ring ~round ~src ~dst ~bits =
+  buf_push ring.slots.(round mod postmortem_window) (src, (dst, bits))
+
+let ring_dump ring =
+  let rounds =
+    Array.to_list ring.slot_round
+    |> List.filter (fun r -> r >= 0)
+    |> List.sort compare
+  in
+  List.map
+    (fun r ->
+      let b = ring.slots.(r mod postmortem_window) in
+      let msgs = ref [] in
+      for i = b.len - 1 downto 0 do
+        let src, (dst, bits) = b.data.(i) in
+        msgs := (src, dst, bits) :: !msgs
+      done;
+      r, !msgs)
+    rounds
+
+let abort_run ~round ~snapshot ring =
+  raise (Round_limit { at_round = round; snapshot; recent = ring_dump ring })
+
 (* The seed simulator's loop, kept verbatim as the semantic anchor for the
    differential test suite (test_sim_equiv): every node is stepped every
    round ([wake] is ignored), per-round accounting goes through a fresh
-   hashtable, quiescence re-scans the full state vector.  The only change
-   from the seed is the satellite fix: recipient validation uses the
-   precomputed neighbor tables instead of an O(deg) adjacency scan. *)
+   hashtable, quiescence re-scans the full state vector.  The only changes
+   from the seed are the slot-based recipient validation and the always-on
+   post-mortem traffic ring.  Fault injection is an active-engine feature;
+   this loop never sees a [faults] record. *)
 let run_reference ?max_rounds ?halt ?observer:per_run g proto =
   let obs = effective_observer per_run in
   let n = Graph.n g in
@@ -134,8 +197,23 @@ let run_reference ?max_rounds ?halt ?observer:per_run g proto =
   let budget_violations = ref 0 in
   let round = ref 0 in
   let quiescent = ref false in
+  let ring = ring_make () in
+  let current_stats () =
+    {
+      rounds = !round;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_edge_round_bits = !max_edge_round_bits;
+      budget_violations = !budget_violations;
+      dropped = 0;
+      duplicated = 0;
+      retransmissions = 0;
+    }
+  in
   while not !quiescent do
-    if !round >= max_rounds then raise (Round_limit !round);
+    if !round >= max_rounds then
+      abort_run ~round:!round ~snapshot:(current_stats ()) ring;
+    ring_begin_round ring ~round:!round;
     (* bits sent this round per (sender, neighbor-slot); keyed by sender and
        destination since each unordered edge has two directions. *)
     let edge_bits = Hashtbl.create 64 in
@@ -155,6 +233,7 @@ let run_reference ?max_rounds ?halt ?observer:per_run g proto =
           (match obs with
           | Some f -> f ~src:v ~dst ~bits
           | None -> ());
+          ring_push ring ~round:!round ~src:v ~dst ~bits;
           let key = (v * n) + dst in
           let prev = Option.value ~default:0 (Hashtbl.find_opt edge_bits key) in
           let now = prev + bits in
@@ -177,14 +256,7 @@ let run_reference ?max_rounds ?halt ?observer:per_run g proto =
     let halted = match halt with Some f -> f states | None -> false in
     quiescent := halted || (all_done && (not inflight) && not !sent_any)
   done;
-  ( states,
-    {
-      rounds = !round;
-      messages = !messages;
-      total_bits = !total_bits;
-      max_edge_round_bits = !max_edge_round_bits;
-      budget_violations = !budget_violations;
-    } )
+  states, current_stats ()
 
 (* Deprecated global shim, same contract as [observer] above: the
    per-run [?reference] parameter is the domain-safe way to pick the
@@ -207,12 +279,25 @@ let use_reference_engine = ref false
      no cons-cell churn for the double-buffered delivery arrays.
 
    Stats, observer calls (order included), exceptions, and final states are
-   bit-for-bit those of [run_reference]; test_sim_equiv enforces this. *)
-let run ?max_rounds ?halt ?observer:per_run ?reference g proto =
+   bit-for-bit those of [run_reference]; test_sim_equiv enforces this.
+
+   Fault injection ([?faults]) lives here and only here: with no faults
+   record the per-message fast path is exactly the fault-free engine.
+   Semantics (see the .mli): the sender is always charged for a send
+   (messages, bits, observer, edge budget); [Drop] destroys the message
+   in flight, [Replicate k] delivers [k] copies; a [down] node is not
+   stepped and mail arriving at it is destroyed (counted as dropped); on
+   the first round a node is back up, its state is reset to [init]. *)
+let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
   let reference =
     match reference with Some b -> b | None -> !use_reference_engine
   in
-  if reference then run_reference ?max_rounds ?halt ?observer:per_run g proto
+  if reference then begin
+    (match faults with
+    | Some _ -> invalid_arg "Sim.run: ?faults requires the active engine"
+    | None -> ());
+    run_reference ?max_rounds ?halt ?observer:per_run g proto
+  end
   else begin
     let obs = effective_observer per_run in
     let n = Graph.n g in
@@ -240,20 +325,69 @@ let run ?max_rounds ?halt ?observer:per_run ?reference g proto =
     let total_bits = ref 0 in
     let max_edge_round_bits = ref 0 in
     let budget_violations = ref 0 in
+    let dropped = ref 0 in
+    let duplicated = ref 0 in
     let round = ref 0 in
     let quiescent = ref false in
+    let ring = ring_make () in
+    (match faults with Some f -> f.retransmissions := 0 | None -> ());
+    let current_stats () =
+      {
+        rounds = !round;
+        messages = !messages;
+        total_bits = !total_bits;
+        max_edge_round_bits = !max_edge_round_bits;
+        budget_violations = !budget_violations;
+        dropped = !dropped;
+        duplicated = !duplicated;
+        retransmissions =
+          (match faults with Some f -> !(f.retransmissions) | None -> 0);
+      }
+    in
+    (* Crash bookkeeping, allocated only when a faults record is present. *)
+    let down_now = match faults with Some _ -> Array.make n false | None -> [||] in
+    let was_down = match faults with Some _ -> Array.make n false | None -> [||] in
     while not !quiescent do
-      if !round >= max_rounds then raise (Round_limit !round);
+      if !round >= max_rounds then
+        abort_run ~round:!round ~snapshot:(current_stats ()) ring;
+      ring_begin_round ring ~round:!round;
       let inboxes = !cur and outboxes = !nxt in
       let sent_any = ref false in
+      (match faults with
+      | None -> ()
+      | Some f ->
+          for v = 0 to n - 1 do
+            let d = f.down ~round:!round ~node:v in
+            down_now.(v) <- d;
+            if d then begin
+              (* Mail delivered to a crashed node is lost. *)
+              if inboxes.(v).len > 0 then begin
+                dropped := !dropped + inboxes.(v).len;
+                inboxes.(v).len <- 0
+              end;
+              was_down.(v) <- true
+            end
+            else if was_down.(v) then begin
+              (* First round back up: restart from a fresh initial state. *)
+              was_down.(v) <- false;
+              states.(v) <- proto.init views.(v);
+              let d' = proto.is_done states.(v) in
+              if d' <> done_flag.(v) then begin
+                done_flag.(v) <- d';
+                done_count := !done_count + (if d' then 1 else -1)
+              end
+            end
+          done);
       for v = 0 to n - 1 do
+        let crashed = match faults with Some _ -> down_now.(v) | None -> false in
         let active =
-          inboxes.(v).len > 0
-          || (not done_flag.(v))
-          ||
-          match proto.wake with
-          | None -> true
-          | Some f -> f views.(v) ~round:!round states.(v)
+          (not crashed)
+          && (inboxes.(v).len > 0
+             || (not done_flag.(v))
+             ||
+             match proto.wake with
+             | None -> true
+             | Some f -> f views.(v) ~round:!round states.(v))
         in
         if active then begin
           let inbox = buf_drain inboxes.(v) in
@@ -276,6 +410,7 @@ let run ?max_rounds ?halt ?observer:per_run ?reference g proto =
               (match obs with
               | Some f -> f ~src:v ~dst ~bits
               | None -> ());
+              ring_push ring ~round:!round ~src:v ~dst ~bits;
               let prev = edge_bits.(slot) in
               if prev < 0 then begin
                 touched.(!n_touched) <- slot;
@@ -283,7 +418,17 @@ let run ?max_rounds ?halt ?observer:per_run ?reference g proto =
                 edge_bits.(slot) <- bits
               end
               else edge_bits.(slot) <- prev + bits;
-              buf_push outboxes.(dst) (v, msg))
+              match faults with
+              | None -> buf_push outboxes.(dst) (v, msg)
+              | Some f -> (
+                  match f.on_send ~round:!round ~src:v ~dst with
+                  | Deliver -> buf_push outboxes.(dst) (v, msg)
+                  | Drop -> incr dropped
+                  | Replicate k ->
+                      for _ = 1 to k do
+                        buf_push outboxes.(dst) (v, msg)
+                      done;
+                      duplicated := !duplicated + (k - 1)))
             outbox
         end
       done;
@@ -295,26 +440,58 @@ let run ?max_rounds ?halt ?observer:per_run ?reference g proto =
         edge_bits.(slot) <- -1
       done;
       n_touched := 0;
-      (* Every non-empty inbox made its node active, and stepping drains the
-         inbox, so [inboxes] is all-empty here: swapping the double buffers
-         hands next round its deliveries and this round's arrays for reuse. *)
+      (* Every non-empty inbox made its node active (or was emptied by the
+         crash pre-pass), and stepping drains the inbox, so [inboxes] is
+         all-empty here: swapping the double buffers hands next round its
+         deliveries and this round's arrays for reuse. *)
       cur := outboxes;
       nxt := inboxes;
       incr round;
       let halted = match halt with Some f -> f states | None -> false in
       quiescent := halted || ((!done_count = n) && not !sent_any)
     done;
-    ( states,
-      {
-        rounds = !round;
-        messages = !messages;
-        total_bits = !total_bits;
-        max_edge_round_bits = !max_edge_round_bits;
-        budget_violations = !budget_violations;
-      } )
+    states, current_stats ()
   end
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "rounds=%d messages=%d bits=%d max-edge-round-bits=%d violations=%d"
-    s.rounds s.messages s.total_bits s.max_edge_round_bits s.budget_violations
+    s.rounds s.messages s.total_bits s.max_edge_round_bits s.budget_violations;
+  if s.dropped > 0 || s.duplicated > 0 || s.retransmissions > 0 then
+    Format.fprintf ppf " dropped=%d duplicated=%d retransmissions=%d" s.dropped
+      s.duplicated s.retransmissions
+
+let pp_abort ppf a =
+  Format.fprintf ppf
+    "@[<v>no quiescence after %d rounds (%a)@,last %d rounds of traffic:@,"
+    a.at_round pp_stats a.snapshot
+    (List.length a.recent);
+  List.iter
+    (fun (r, msgs) ->
+      let per_node = Hashtbl.create 8 in
+      List.iter
+        (fun (src, _, bits) ->
+          let c, b =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt per_node src)
+          in
+          Hashtbl.replace per_node src (c + 1, b + bits))
+        msgs;
+      let senders =
+        Hashtbl.fold (fun v cb acc -> (v, cb) :: acc) per_node []
+        |> List.sort compare
+      in
+      Format.fprintf ppf "  round %d: %d msgs from %d nodes" r
+        (List.length msgs) (List.length senders);
+      List.iteri
+        (fun i (v, (c, b)) ->
+          if i < 6 then Format.fprintf ppf " [%d: %d msg/%d bits]" v c b)
+        senders;
+      if List.length senders > 6 then Format.fprintf ppf " ...";
+      Format.fprintf ppf "@,")
+    a.recent;
+  Format.fprintf ppf "@]"
+
+let () =
+  Printexc.register_printer (function
+    | Round_limit a -> Some (Format.asprintf "Sim.Round_limit:@ %a" pp_abort a)
+    | _ -> None)

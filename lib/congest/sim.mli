@@ -71,9 +71,72 @@ type stats = {
       (** max bits over a single (edge, direction) in one round *)
   budget_violations : int;
       (** edge-rounds exceeding {!Dsf_util.Bitsize.congest_budget} *)
+  dropped : int;
+      (** messages destroyed by fault injection (at-send drops plus mail
+          arriving at a crashed node); always 0 without [?faults] *)
+  duplicated : int;
+      (** extra copies delivered by fault injection; 0 without [?faults] *)
+  retransmissions : int;
+      (** resends reported by a hardened protocol through the faults
+          record's counter (see {!Fault.harden}); 0 without [?faults] *)
 }
 
-exception Round_limit of int
+(** {2 Fault injection}
+
+    A [faults] record is a set of callbacks the active engine consults
+    while it runs — the simulator stays agnostic of how fault decisions
+    are made ({!Fault} builds deterministic seeded records from
+    declarative plans).  Semantics:
+
+    - the sender is always charged for a send (messages, bits, observer
+      call, edge budget) — the network misbehaves {e after} the send;
+    - [on_send] returning [Drop] destroys the message in flight
+      ([stats.dropped]); [Replicate k] delivers [k] copies
+      ([stats.duplicated] counts the [k - 1] extras);
+    - a node with [down ~round ~node = true] is not stepped that round
+      and mail arriving at it is destroyed (counted in [dropped]);
+      messages it sent earlier still arrive elsewhere;
+    - on the first round a node is back up, its state is reset to
+      [init view] — crash-and-restart with total state loss;
+    - [retransmissions] is reset to 0 at run start and copied into the
+      final stats: a hardening wrapper increments it on every resend.
+
+    Faults are an active-engine feature: combining [?faults] with
+    [~reference:true] raises [Invalid_argument]. *)
+
+type fault_action = Deliver | Drop | Replicate of int
+
+type faults = {
+  on_send : round:int -> src:int -> dst:int -> fault_action;
+  down : round:int -> node:int -> bool;
+  retransmissions : int ref;
+}
+
+(** {2 Structured round-limit aborts}
+
+    When a run exceeds [max_rounds] it raises {!Round_limit} carrying a
+    post-mortem: the stats at the moment of the abort plus the last
+    {!postmortem_window} rounds of raw per-message traffic, oldest round
+    first — enough to see who was still talking (or silent) when the
+    protocol span out.  A printer is registered with [Printexc], so an
+    uncaught abort prints the summary; {!Trace.pp_postmortem} renders the
+    full per-node breakdown. *)
+
+type abort = {
+  at_round : int;  (** the exceeded round limit *)
+  snapshot : stats;  (** stats at the abort *)
+  recent : (int * (int * int * int) list) list;
+      (** (round, (src, dst, bits) in send order), ascending rounds *)
+}
+
+exception Round_limit of abort
+
+val postmortem_window : int
+(** Number of trailing rounds of traffic kept for {!abort.recent} (8). *)
+
+val pp_abort : Format.formatter -> abort -> unit
+(** Compact per-round summary of an abort (also what the registered
+    [Printexc] printer emits). *)
 
 val never : view -> round:int -> 's -> bool
 (** [never] ignores its arguments and returns [false]: the canonical [wake]
@@ -112,13 +175,19 @@ val run :
   ?halt:('s array -> bool) ->
   ?observer:observer ->
   ?reference:bool ->
+  ?faults:faults ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
 (** Runs the protocol to quiescence on the active-set engine.  Default
     [max_rounds] is [10_000 + 200 * n]; raises {!Round_limit} if exceeded
-    (a protocol bug).  Messages produced in round [r] are delivered in
-    round [r + 1].
+    (a protocol bug — the abort carries a post-mortem, see {!abort}).
+    Messages produced in round [r] are delivered in round [r + 1].
+
+    [faults] switches on fault injection for this run (see the fault
+    semantics above).  Omitting it — or passing a record whose callbacks
+    never fire — leaves the engine bit-identical to the fault-free one:
+    the differential suite checks both.  Requires the active engine.
 
     [halt] is an omniscient early-termination predicate evaluated on the
     state vector after every round; when it fires the run stops immediately.

@@ -33,3 +33,46 @@ let pp_summary ppf t =
   List.iter
     (fun ((s, d), b) -> Format.fprintf ppf " %d->%d:%d" s d b)
     (hottest_edges t 3)
+
+let pp_postmortem ppf (a : Sim.abort) =
+  Format.fprintf ppf
+    "round limit hit at round %d (%d messages, %d dropped, %d retransmitted \
+     in total)@."
+    a.Sim.at_round a.Sim.snapshot.Sim.messages a.Sim.snapshot.Sim.dropped
+    a.Sim.snapshot.Sim.retransmissions;
+  (* Who was still talking: per-sender message totals over the window
+     point straight at the node whose timer never stops firing. *)
+  let talkers = Hashtbl.create 16 in
+  List.iter
+    (fun (_, msgs) ->
+      List.iter
+        (fun (src, _, _) ->
+          Hashtbl.replace talkers src
+            (1 + Option.value ~default:0 (Hashtbl.find_opt talkers src)))
+        msgs)
+    a.Sim.recent;
+  let ranked =
+    Hashtbl.fold (fun node count acc -> (node, count) :: acc) talkers []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  (match ranked with
+  | [] -> Format.fprintf ppf "no traffic in the last %d rounds@."
+            (List.length a.Sim.recent)
+  | _ ->
+      Format.fprintf ppf "senders over the last %d rounds:"
+        (List.length a.Sim.recent);
+      List.iter
+        (fun (node, count) -> Format.fprintf ppf " %d:%dmsg" node count)
+        ranked;
+      Format.fprintf ppf "@.");
+  List.iter
+    (fun (round, msgs) ->
+      Format.fprintf ppf "  round %d:" round;
+      if msgs = [] then Format.fprintf ppf " (silent)"
+      else
+        List.iter
+          (fun (src, dst, bits) ->
+            Format.fprintf ppf " %d->%d:%db" src dst bits)
+          msgs;
+      Format.fprintf ppf "@.")
+    a.Sim.recent

@@ -24,3 +24,9 @@ val bits_between : t -> src:int -> dst:int -> int
 (** Bits sent from [src] to [dst] (one direction). *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+val pp_postmortem : Format.formatter -> Sim.abort -> unit
+(** Full dump of a {!Sim.Round_limit} post-mortem: the abort header,
+    per-sender message totals over the retained window (the eternal
+    retransmitter tops the list), then the raw round-by-round traffic,
+    oldest round first.  Complements the compact {!Sim.pp_abort}. *)

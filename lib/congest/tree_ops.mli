@@ -9,6 +9,7 @@
     the paper's analysis relies on. *)
 
 val upcast :
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -19,6 +20,7 @@ val upcast :
     Rounds ~ height + max path congestion. *)
 
 val upcast_dedup :
+  ?observer:Sim.observer ->
   ?per_key:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
@@ -33,6 +35,7 @@ val upcast_dedup :
     as values) are never forwarded twice. *)
 
 val upcast_sequential :
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -45,6 +48,7 @@ val upcast_sequential :
     behaviour the paper's pipelining (Lemma 4.14, Section 5) eliminates. *)
 
 val broadcast :
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:'a list ->
@@ -54,6 +58,7 @@ val broadcast :
     full list (in order).  Rounds ~ height + |items|. *)
 
 val aggregate :
+  ?observer:Sim.observer ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   value:(int -> 'a) ->
@@ -63,6 +68,7 @@ val aggregate :
 (** Bottom-up reduction with an associative, commutative [combine]; the
     result over all nodes lands at the root.  Rounds ~ height. *)
 
-val count_nodes : Dsf_graph.Graph.t -> tree:Bfs.tree -> int * Sim.stats
+val count_nodes :
+  ?observer:Sim.observer -> Dsf_graph.Graph.t -> tree:Bfs.tree -> int * Sim.stats
 (** Convergecast count of all nodes ([n] as computed in the paper's
     footnote 2). *)

@@ -18,6 +18,7 @@ type route_state = {
 }
 
 val route_phase :
+  ?observer:Dsf_congest.Sim.observer ->
   Dsf_graph.Graph.t ->
   Dsf_embed.Virtual_tree.t ->
   origins:(int -> (int * int) list) ->
@@ -33,6 +34,7 @@ type back_state = {
 }
 
 val backtrace_phase :
+  ?observer:Dsf_congest.Sim.observer ->
   Dsf_graph.Graph.t ->
   tables:(int -> (int * int, int) Hashtbl.t) ->
   bundles:(int -> back_msg list) ->

@@ -23,13 +23,13 @@ let isqrt = Dsf_util.Intmath.isqrt
 
 
 (* One full first-stage run: returns the selected edge set F. *)
-let first_stage rng g inst ledger note_stats ~truncate =
+let first_stage ?observer rng g inst ledger note_stats ~truncate =
   let n = Graph.n g in
   let m = Graph.m g in
-  let tree, bfs_stats = Bfs.build g ~root:(Bfs.max_id_root g) in
+  let tree, bfs_stats = Bfs.build ?observer g ~root:(Bfs.max_id_root g) in
   note_stats "stage1: BFS tree" bfs_stats;
   let truncate_at = if truncate then Some (isqrt n) else None in
-  let vt, vt_rounds = Virtual_tree.build rng ?truncate_at g in
+  let vt, vt_rounds = Virtual_tree.build ?observer rng ?truncate_at g in
   Ledger.add ledger Ledger.Simulated "stage1: virtual tree (LE lists + S Voronoi)"
     vt_rounds;
   let f = Array.make m false in
@@ -44,7 +44,8 @@ let first_stage rng g inst ledger note_stats ~truncate =
        convergecast + broadcast, as in Lemma 2.4. *)
     let witness_items v = List.map (fun l -> l, v) holders.(v) in
     let witnesses, w_stats =
-      Tree_ops.upcast_dedup ~per_key:2 g ~tree ~items:witness_items ~key:fst
+      Tree_ops.upcast_dedup ?observer ~per_key:2 g ~tree ~items:witness_items
+        ~key:fst
         ~bits:(fun _ -> 2 * Bitsize.id_bits ~n)
     in
     note_stats (tag "single-holder check") w_stats;
@@ -56,7 +57,8 @@ let first_stage rng g inst ledger note_stats ~truncate =
       witnesses;
     let live = Hashtbl.fold (fun l c acc -> if c >= 2 then l :: acc else acc) count [] in
     let _, lb_stats =
-      Tree_ops.broadcast g ~tree ~items:live ~bits:(fun _ -> Bitsize.id_bits ~n)
+      Tree_ops.broadcast ?observer g ~tree ~items:live
+        ~bits:(fun _ -> Bitsize.id_bits ~n)
     in
     note_stats (tag "live-label broadcast") lb_stats;
     for v = 0 to n - 1 do
@@ -67,7 +69,7 @@ let first_stage rng g inst ledger note_stats ~truncate =
       List.map (fun l -> l, vt.Virtual_tree.ancestors.(v).(i)) holders.(v)
     in
     (* (c) route labels to targets. *)
-    let rstates, r_stats = LR.route_phase g vt ~origins in
+    let rstates, r_stats = LR.route_phase ?observer g vt ~origins in
     note_stats (tag "label routing") r_stats;
     Array.iter
       (fun st -> List.iter (fun eid -> f.(eid) <- true) st.LR.marked)
@@ -109,7 +111,7 @@ let first_stage rng g inst ledger note_stats ~truncate =
       else []
     in
     let tables v = rstates.(v).LR.known in
-    let bstates, b_stats = LR.backtrace_phase g ~tables ~bundles in
+    let bstates, b_stats = LR.backtrace_phase ?observer g ~tables ~bundles in
     note_stats (tag "backtrace") b_stats;
     for v = 0 to n - 1 do
       holders.(v) <- List.sort_uniq compare (bstates.(v).LR.b_l @ self_kept v)
@@ -117,8 +119,8 @@ let first_stage rng g inst ledger note_stats ~truncate =
   done;
   f, vt
 
-let run ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
-  let minimalized = Transform.minimalize inst0 in
+let run ?observer ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
+  let minimalized = Transform.minimalize ?observer inst0 in
   let inst = minimalized.Transform.value in
   let g = inst.Instance.graph in
   let m = Graph.m g in
@@ -129,7 +131,7 @@ let run ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
   let d, _, s = Paths.parameters g in
   (* The regime test of footnote 2, genuinely simulated: count n by
      convergecast, then run Bellman-Ford for at most sqrt(n) rounds. *)
-  let regime, regime_rounds = Dsf_congest.Params.regime g in
+  let regime, regime_rounds = Dsf_congest.Params.regime ?observer g in
   Ledger.add ledger Ledger.Simulated "determine s vs sqrt(n) (footnote 2)"
     regime_rounds;
   let truncate =
@@ -167,15 +169,16 @@ let run ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
           trial_max_bits := stats.Sim.max_edge_round_bits
       in
       let f, vt =
-        first_stage rep_rngs.(i) g inst trial_ledger note_stats ~truncate
+        first_stage ?observer rep_rngs.(i) g inst trial_ledger note_stats
+          ~truncate
       in
       let w = Graph.edge_set_weight g f in
       (* Compare candidate forests by a simulated weight convergecast:
          each node contributes half the weight of its selected incident
          edges. *)
       let _, w_stats =
-        let tree, _ = Bfs.build g ~root:(Bfs.max_id_root g) in
-        Tree_ops.aggregate g ~tree
+        let tree, _ = Bfs.build ?observer g ~root:(Bfs.max_id_root g) in
+        Tree_ops.aggregate ?observer g ~tree
           ~value:(fun v ->
             Array.fold_left
               (fun acc (_, w', eid) -> if f.(eid) then acc + w' else acc)
@@ -209,7 +212,8 @@ let run ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
       if not truncate then f
       else begin
         let out =
-          Reduced_solver.solve inst ~f ~s_set:vt.Virtual_tree.s_set ~diameter:d
+          Reduced_solver.solve ?observer inst ~f ~s_set:vt.Virtual_tree.s_set
+            ~diameter:d
         in
         Ledger.add ledger Ledger.Simulated "stage2: T_v assignment"
           out.Reduced_solver.assignment_rounds;

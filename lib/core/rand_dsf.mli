@@ -32,6 +32,7 @@ type result = {
 }
 
 val run :
+  ?observer:Dsf_congest.Sim.observer ->
   ?repetitions:int ->
   ?force_truncate:bool ->
   ?jobs:int ->
@@ -46,4 +47,9 @@ val run :
     domain pool.  Each repetition draws from an rng split off [rng] by
     its trial index and logs rounds into its own ledger, merged back in
     repetition order, so the result — solution, weight, and ledger — is
-    bit-identical for every [jobs] value. *)
+    bit-identical for every [jobs] value.
+
+    [observer] taps every simulated run (per-run, not the deprecated
+    global shim).  With [jobs > 1] it is invoked concurrently from pool
+    domains, so it must be domain-safe (e.g. accumulate into atomics, or
+    into per-domain state). *)

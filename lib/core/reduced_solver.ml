@@ -16,7 +16,7 @@ type outcome = {
 
 let isqrt = Dsf_util.Intmath.isqrt
 
-let solve ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
+let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
   let g = inst.Instance.graph in
   let n = Graph.n g in
   let m = Graph.m g in
@@ -42,7 +42,7 @@ let solve ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
       let big = cap + 1 in
       let weight_of eid = if f.(eid) then 1 else big in
       let res, stats =
-        Bellman_ford.run g ~weight_of ~radius:cap
+        Bellman_ford.run ?observer g ~weight_of ~radius:cap
           ~sources:(List.map (fun v -> v, 0) s_set)
       in
       let assignment = res.Bellman_ford.src_of in
@@ -129,7 +129,10 @@ let solve ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
         let label_index = Hashtbl.create 16 in
         List.iteri (fun i l -> Hashtbl.replace label_index l i) all_labels;
         let label_rounds =
-          let tree, t1 = Dsf_congest.Bfs.build g ~root:(Dsf_congest.Bfs.max_id_root g) in
+          let tree, t1 =
+            Dsf_congest.Bfs.build ?observer g
+              ~root:(Dsf_congest.Bfs.max_id_root g)
+          in
           (* Gossip stays inside each cell: enable only F-edges whose two
              endpoints share an assignment. *)
           let mask =
@@ -143,7 +146,8 @@ let solve ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
             else None
           in
           let cell_min, t2 =
-            Dsf_congest.Component_ops.component_min_item g ~mask ~values
+            Dsf_congest.Component_ops.component_min_item ?observer g ~mask
+              ~values
               ~cmp:compare
               ~bits:(fun _ -> Dsf_util.Bitsize.id_bits ~n)
           in
@@ -161,12 +165,12 @@ let solve ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
             else []
           in
           let helper_forest, t3 =
-            Dsf_congest.Pipeline.filtered_upcast g ~tree
+            Dsf_congest.Pipeline.filtered_upcast ?observer g ~tree
               ~vn:(List.length all_labels) ~pre:[] ~items ~cmp:compare
               ~bits:(fun _ -> 2 * Dsf_util.Bitsize.id_bits ~n)
           in
           let _, t4 =
-            Dsf_congest.Tree_ops.broadcast g ~tree
+            Dsf_congest.Tree_ops.broadcast ?observer g ~tree
               ~items:helper_forest
               ~bits:(fun _ -> 2 * Dsf_util.Bitsize.id_bits ~n)
           in

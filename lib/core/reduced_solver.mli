@@ -32,6 +32,7 @@ type outcome = {
 }
 
 val solve :
+  ?observer:Dsf_congest.Sim.observer ->
   ?spanner_stretch:int option ->
   Dsf_graph.Instance.ic ->
   f:bool array ->

@@ -16,8 +16,14 @@ type 'a outcome = {
   messages : int;
 }
 
-val cr_to_ic : Dsf_graph.Instance.cr -> Dsf_graph.Instance.ic outcome
+val cr_to_ic :
+  ?observer:Dsf_congest.Sim.observer ->
+  Dsf_graph.Instance.cr ->
+  Dsf_graph.Instance.ic outcome
 (** The resulting labels are the smallest terminal id in each request
     component, matching the construction in the proof of Lemma 2.3. *)
 
-val minimalize : Dsf_graph.Instance.ic -> Dsf_graph.Instance.ic outcome
+val minimalize :
+  ?observer:Dsf_congest.Sim.observer ->
+  Dsf_graph.Instance.ic ->
+  Dsf_graph.Instance.ic outcome

@@ -32,7 +32,8 @@ type t = {
   stats : Dsf_congest.Sim.stats;
 }
 
-val build : Dsf_util.Rng.t -> Dsf_graph.Graph.t -> t
+val build :
+  ?observer:Dsf_congest.Sim.observer -> Dsf_util.Rng.t -> Dsf_graph.Graph.t -> t
 (** Draws ranks from the given RNG and runs the simulated construction. *)
 
 val highest_within : t -> int -> int -> entry option

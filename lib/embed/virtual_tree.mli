@@ -34,7 +34,11 @@ val beta_ball : t -> int -> int
     (distances are integers, so flooring is exact for membership tests). *)
 
 val build :
-  Dsf_util.Rng.t -> ?truncate_at:int -> Dsf_graph.Graph.t -> t * int
+  ?observer:Dsf_congest.Sim.observer ->
+  Dsf_util.Rng.t ->
+  ?truncate_at:int ->
+  Dsf_graph.Graph.t ->
+  t * int
 (** [build rng ?truncate_at g] returns the tree and the number of simulated
     rounds spent (LE lists; plus the closest-S Voronoi when truncating).
     [truncate_at] is |S| (e.g. sqrt n); omit it for the full tree. *)

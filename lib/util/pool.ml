@@ -13,7 +13,8 @@ type batch = {
   gen : int;  (* distinguishes this batch from the one a worker just ran *)
   chunks : int;
   next : int Atomic.t;
-  run : int -> unit;  (* must not raise: wrapped by [map_chunked] *)
+  run : int -> unit;  (* may raise; failures are routed to [on_error] *)
+  on_error : int -> exn -> Printexc.raw_backtrace -> unit;  (* must not raise *)
   mutable completed : int;  (* guarded by [lock] *)
 }
 
@@ -29,15 +30,25 @@ let spawned = ref 0
    with [jobs > 1] finds it set and gets {!Nested_use}. *)
 let busy = Atomic.make false
 
+(* The chunk's completion increment is the pool's liveness invariant: the
+   caller sleeps on [batch_done] until [completed = chunks], so a chunk
+   that raises without being counted would wedge the pool forever.  The
+   [Fun.protect] makes the count unconditional — even if [on_error]
+   itself misbehaves, the batch still completes and only the offending
+   domain unwinds. *)
 let run_chunks b =
   let rec pull () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.chunks then begin
-      b.run i;
-      Mutex.lock lock;
-      b.completed <- b.completed + 1;
-      if b.completed = b.chunks then Condition.broadcast batch_done;
-      Mutex.unlock lock;
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock lock;
+          b.completed <- b.completed + 1;
+          if b.completed = b.chunks then Condition.broadcast batch_done;
+          Mutex.unlock lock)
+        (fun () ->
+          try b.run i
+          with e -> b.on_error i e (Printexc.get_raw_backtrace ()));
       pull ()
     end
   in
@@ -54,7 +65,11 @@ let rec worker_loop last_gen =
   in
   let b = await () in
   Mutex.unlock lock;
-  run_chunks b;
+  (* A worker must outlive any single batch: swallow whatever escapes
+     [run_chunks] (only possible if an [on_error] callback raised) so the
+     domain returns to [await] instead of dying and silently shrinking
+     the pool. *)
+  (try run_chunks b with _ -> ());
   worker_loop b.gen
 
 let ensure_workers want =
@@ -75,22 +90,19 @@ let map_chunked ~jobs f arr =
     (* Guarded by [lock]; the failure at the smallest index wins, so the
        propagated exception is deterministic under any schedule. *)
     let first_error = ref None in
-    let run i =
-      match f arr.(i) with
-      | v -> results.(i) <- Some v
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock lock;
-          (match !first_error with
-          | Some (j, _, _) when j <= i -> ()
-          | _ -> first_error := Some (i, e, bt));
-          Mutex.unlock lock
+    let run i = results.(i) <- Some (f arr.(i)) in
+    let on_error i e bt =
+      Mutex.lock lock;
+      (match !first_error with
+      | Some (j, _, _) when j <= i -> ()
+      | _ -> first_error := Some (i, e, bt));
+      Mutex.unlock lock
     in
     ensure_workers (jobs - 1);
     Mutex.lock lock;
     incr generation;
     let b =
-      { gen = !generation; chunks = len; next = Atomic.make 0; run;
+      { gen = !generation; chunks = len; next = Atomic.make 0; run; on_error;
         completed = 0 }
     in
     current := Some b;

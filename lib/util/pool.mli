@@ -39,7 +39,11 @@ val map_chunked : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
     If one or more tasks raise, every task still runs to completion and
     the exception of the *smallest failing index* is re-raised (with its
-    backtrace) — deterministic regardless of scheduling.
+    backtrace) — deterministic regardless of scheduling.  A raising task
+    can neither wedge the pool (chunk completion is counted in a
+    [Fun.protect] finalizer, so the caller is always woken) nor shrink it
+    (worker domains survive any exception escaping a batch and return to
+    waiting for the next one).
 
     [jobs <= 1] (or arrays of length <= 1) short-circuits to a plain
     sequential [Array.map] on the calling domain: no pool interaction, no

@@ -1,0 +1,210 @@
+(* Chaos differential suite: the Fault.harden combinator must make any
+   drop-only fault plan invisible — a hardened protocol on a lossy network
+   reaches exactly the final states the raw protocol reaches on a lossless
+   one.  Also pins down what the RAW protocols do (and do not) guarantee
+   under crash-and-restart plans, and that round-limit aborts carry a
+   usable post-mortem. *)
+
+open Dsf_graph
+open Dsf_congest
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let rng seed = Dsf_util.Rng.create seed
+
+(* Hardened runs multiply round counts by the synchronizer overhead, so
+   chaos graphs stay small. *)
+let random_graph seed =
+  let r = rng seed in
+  let n = 6 + Dsf_util.Rng.int r 10 in
+  let extra = Dsf_util.Rng.int r n in
+  let max_w = 1 + Dsf_util.Rng.int r 8 in
+  Gen.random_connected r ~n ~extra_edges:extra ~max_w
+
+let random_drop_plan seed =
+  let r = rng (seed lxor 0x5bd1e995) in
+  (* drop in [0, 0.45], duplicate in [0, 0.3]: lossy enough to force
+     retransmissions, tame enough to converge quickly. *)
+  let drop = float_of_int (Dsf_util.Rng.int r 46) /. 100. in
+  let duplicate = float_of_int (Dsf_util.Rng.int r 31) /. 100. in
+  Fault.plan ~drop ~duplicate ~seed:(Dsf_util.Rng.int r 1_000_000) ()
+
+(* Raw lossless final states vs hardened final states under [plan]. *)
+let masks_plan ?max_rounds g proto plan =
+  let lossless, _ = Sim.run g proto in
+  let hardened, _ = Fault.run_hardened ?max_rounds ~plan g proto in
+  lossless = hardened
+
+let prop_harden_bfs =
+  QCheck.Test.make ~name:"harden masks drops (BFS)" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      (* BFS parent choice is first-arrival — the synchronizer must
+         reproduce the exact lossless timing, not just any BFS tree. *)
+      masks_plan g (Bfs.protocol ~root) (random_drop_plan seed))
+
+let prop_harden_bellman_ford =
+  QCheck.Test.make ~name:"harden masks drops (Bellman-Ford)" ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 1) in
+      let k = 1 + Dsf_util.Rng.int r 3 in
+      let sources =
+        List.init k (fun _ -> Dsf_util.Rng.int r n, Dsf_util.Rng.int r 4)
+      in
+      masks_plan g (Bellman_ford.protocol g ~sources) (random_drop_plan seed))
+
+let prop_harden_exchange_leader =
+  QCheck.Test.make ~name:"harden masks drops (exchange / leader)" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let plan = random_drop_plan (seed + 7) in
+      masks_plan g (Exchange.protocol ~payload_bits:9) plan
+      && masks_plan g (Leader.protocol g) plan)
+
+let prop_harden_faultfree_identity =
+  QCheck.Test.make ~name:"hardened fault-free run = lossless states"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      let lossless, _ = Sim.run g (Bfs.protocol ~root) in
+      let hardened, stats = Fault.run_hardened g (Bfs.protocol ~root) in
+      lossless = hardened && stats.Sim.retransmissions = 0
+      && stats.Sim.dropped = 0)
+
+let prop_drops_cost_retransmissions =
+  QCheck.Test.make ~name:"dropped payloads force retransmissions" ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let plan = Fault.plan ~drop:0.3 ~seed () in
+      let _, stats =
+        Fault.run_hardened ~plan g (Leader.protocol g)
+      in
+      (* Some packet of the chatty leader flood is dropped with
+         overwhelming probability at p = 0.3; each drop must eventually be
+         covered by a resend. *)
+      stats.Sim.dropped = 0 || stats.Sim.retransmissions > 0)
+
+(* ------------------------------------------------ raw protocols + crashes *)
+
+let test_exchange_crash_restart () =
+  (* The raw exchange is self-stabilizing under crash-and-restart: a
+     restarted node re-inits to "not sent" and simply re-sends.  Node [v]
+     sleeps through rounds 0-1 and wakes at round 2; its neighbors' mail
+     dies at its door, but every node still ends having sent exactly its
+     own outbox once. *)
+  let g = random_graph 4242 in
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let v = n / 2 in
+  let plan = Fault.plan ~crashes:[ v, 0, 2 ] ~seed:1 () in
+  let states, stats =
+    Sim.run ~faults:(Fault.instantiate plan) g
+      (Exchange.protocol ~payload_bits:9)
+  in
+  Array.iteri
+    (fun u sent ->
+      Alcotest.(check bool) (Printf.sprintf "node %d sent" u) true sent)
+    states;
+  check Alcotest.int "messages = 2m (every outbox fired exactly once)"
+    (2 * m) stats.Sim.messages;
+  check Alcotest.int "dropped = deg v (mail at the crashed door)"
+    (Array.length (Graph.adj g v))
+    stats.Sim.dropped
+
+let test_leader_crash_breaks_agreement () =
+  (* A node that sleeps through the max-id wave quiesces on a stale
+     leader: on the path 0-1-...-k, node 0 goes down exactly when the
+     wave of k arrives (rounds k-1 and k) and the network settles before
+     its scheduled restart.  The raw protocol does NOT mask this;
+     [agreed] must surface the disagreement and [leader] must still
+     report the true winner. *)
+  let k = 8 in
+  let g = Gen.path (k + 1) in
+  let plan = Fault.plan ~crashes:[ 0, k - 1, k + 2 ] ~seed:1 () in
+  let res = Leader.elect ~faults:(Fault.instantiate plan) g in
+  Alcotest.(check bool) "disagreement surfaced" false res.Leader.agreed;
+  check Alcotest.int "true winner still reported" k res.Leader.leader
+
+let test_leader_max_node_restart_reconverges () =
+  (* Crashing the max-id node early is healed by the restart: it re-inits
+     to its own id and re-floods, and its pre-crash wave already seeded
+     the rest of the network. *)
+  let k = 8 in
+  let g = Gen.path (k + 1) in
+  let plan = Fault.plan ~crashes:[ k, 1, 3 ] ~seed:1 () in
+  let res = Leader.elect ~faults:(Fault.instantiate plan) g in
+  Alcotest.(check bool) "agreement restored" true res.Leader.agreed;
+  check Alcotest.int "leader" k res.Leader.leader
+
+(* ----------------------------------------------------------- post-mortem *)
+
+let test_crash_plan_not_masked_postmortem () =
+  (* Hardening does NOT mask crash plans: a permanently dead neighbor eats
+     payloads forever, the sender retransmits forever, and the run must
+     abort with a structured, printable post-mortem. *)
+  let g = Gen.path 4 in
+  let plan = Fault.plan ~crashes:[ 0, 2, 1_000_000 ] ~seed:1 () in
+  let max_rounds = 60 in
+  (* Clamp the backoff so a retransmission lands inside the 8-round
+     post-mortem window (the default cap of 32 can out-wait it). *)
+  match
+    Fault.run_hardened ~max_rounds ~rto:3 ~rto_cap:4 ~plan g
+      (Leader.protocol g)
+  with
+  | _ -> Alcotest.fail "expected Round_limit"
+  | exception Sim.Round_limit a ->
+      check Alcotest.int "aborted at the limit" max_rounds a.Sim.at_round;
+      check Alcotest.int "snapshot rounds" max_rounds a.Sim.snapshot.Sim.rounds;
+      Alcotest.(check bool) "ring buffer non-empty" true (a.Sim.recent <> []);
+      Alcotest.(check bool) "window bounded" true
+        (List.length a.Sim.recent <= Sim.postmortem_window);
+      (* The retransmit timers were still firing when the axe fell. *)
+      Alcotest.(check bool) "someone was still talking" true
+        (List.exists (fun (_, msgs) -> msgs <> []) a.Sim.recent);
+      let rendered = Format.asprintf "%a" Sim.pp_abort a in
+      Alcotest.(check bool) "printable post-mortem" true
+        (String.length rendered > 0);
+      let via_printexc = Printexc.to_string (Sim.Round_limit a) in
+      Alcotest.(check bool) "registered exception printer" true
+        (String.length via_printexc > String.length "Sim.Round_limit");
+      (* The full Trace dump adds per-sender totals and the raw
+         round-by-round traffic on top of the compact summary. *)
+      let dump = Format.asprintf "%a" Trace.pp_postmortem a in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "full dump has the header" true
+        (contains dump "round limit hit at round 60");
+      Alcotest.(check bool) "full dump ranks senders" true
+        (contains dump "senders over the last")
+
+let suites =
+  [
+    ( "congest.chaos",
+      [
+        qtest prop_harden_bfs;
+        qtest prop_harden_bellman_ford;
+        qtest prop_harden_exchange_leader;
+        qtest prop_harden_faultfree_identity;
+        qtest prop_drops_cost_retransmissions;
+        Alcotest.test_case "exchange under crash-restart" `Quick
+          test_exchange_crash_restart;
+        Alcotest.test_case "leader: crash breaks agreement" `Quick
+          test_leader_crash_breaks_agreement;
+        Alcotest.test_case "leader: max-node restart reconverges" `Quick
+          test_leader_max_node_restart_reconverges;
+        Alcotest.test_case "crash plan aborts with post-mortem" `Quick
+          test_crash_plan_not_masked_postmortem;
+      ] );
+  ]

@@ -78,7 +78,12 @@ let test_sim_round_limit () =
     }
   in
   (match Sim.run ~max_rounds:10 g chatty with
-  | exception Sim.Round_limit r -> check Alcotest.int "limit" 10 r
+  | exception Sim.Round_limit a ->
+      check Alcotest.int "limit" 10 a.Sim.at_round;
+      check Alcotest.int "snapshot rounds" 10 a.Sim.snapshot.Sim.rounds;
+      Alcotest.(check bool)
+        "post-mortem has traffic" true
+        (a.Sim.recent <> [] && List.for_all (fun (_, l) -> l <> []) a.Sim.recent)
   | _ -> Alcotest.fail "expected Round_limit")
 
 let test_sim_bit_accounting () =

@@ -5,6 +5,6 @@ let () =
    @ Test_baseline.suites @ Test_lower_bound.suites @ Test_extras.suites
    @ Test_metamorphic.suites @ Test_pruning.suites @ Test_spanner.suites
    @ Test_mst_baselines.suites @ Test_differential.suites
-   @ Test_sim_equiv.suites @ Test_fuzz.suites
+   @ Test_sim_equiv.suites @ Test_chaos.suites @ Test_fuzz.suites
    @ Test_routing.suites @ Test_worked_examples.suites @ Test_misc.suites
    @ Test_parallel.suites)

@@ -82,6 +82,30 @@ let test_pool_reusable_after_exception () =
   let got = Pool.map_chunked ~jobs:3 (fun i -> 2 * i) [| 1; 2; 3 |] in
   check Alcotest.(array int) "pool survives a failed batch" [| 2; 4; 6 |] got
 
+let test_pool_survives_failing_batches () =
+  (* Repeated failing batches at full parallelism: a chunk that raises on
+     a worker domain must neither wedge the caller on the batch condvar
+     nor kill the worker (a dead worker would silently shrink the pool
+     because the spawn count never decays).  Each failing batch is
+     followed by a clean one that must still come back complete and
+     correctly ordered. *)
+  let input = Array.init 32 Fun.id in
+  for round = 1 to 5 do
+    (match
+       Pool.map_chunked ~jobs:Pool.hard_cap
+         (fun i -> if i mod 2 = 0 then raise (Boom i) else i)
+         input
+     with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom i -> check Alcotest.int "smallest failing index" 0 i);
+    let got = Pool.map_chunked ~jobs:Pool.hard_cap (fun i -> i + round) input in
+    check
+      Alcotest.(array int)
+      (Printf.sprintf "clean batch after failures, round %d" round)
+      (Array.map (fun i -> i + round) input)
+      got
+  done
+
 let test_pool_default_jobs_bounds () =
   let d = Pool.default_jobs () in
   Alcotest.(check bool) "within [1, hard_cap]" true (1 <= d && d <= Pool.hard_cap)
@@ -181,6 +205,8 @@ let suites =
           test_pool_nested_sequential_ok;
         Alcotest.test_case "reusable after exception" `Quick
           test_pool_reusable_after_exception;
+        Alcotest.test_case "survives failing batches" `Quick
+          test_pool_survives_failing_batches;
         Alcotest.test_case "default_jobs bounds" `Quick
           test_pool_default_jobs_bounds;
       ] );

@@ -153,6 +153,24 @@ let prop_bfs_leader_exchange_equiv =
       in
       tr1 = tr2 && stats_eq bt1 bt2 && le1 = le2 && stats_eq ex1 ex2)
 
+let prop_empty_plan_identity =
+  QCheck.Test.make
+    ~name:"?faults with the empty plan is bit-identical" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      (* States, stats AND observer traces must all coincide: an empty
+         plan never fires, so the fault-injecting engine path has to be
+         indistinguishable from the fault-free one. *)
+      let record faults =
+        let log = ref [] in
+        let observer ~src ~dst ~bits = log := (src, dst, bits) :: !log in
+        let s, t = Sim.run ~observer ?faults g (flood_protocol root) in
+        s, t, List.rev !log
+      in
+      record None = record (Some (Fault.instantiate Fault.empty)))
+
 (* --------------------------------------------------------------- corners *)
 
 let test_single_node () =
@@ -180,7 +198,7 @@ let test_round_limit_equiv () =
   in
   let limit_of run =
     match run () with
-    | exception Sim.Round_limit r -> r
+    | exception Sim.Round_limit a -> a.Sim.at_round
     | _ -> -1
   in
   let active = limit_of (fun () -> Sim.run ~max_rounds:7 g chatty) in
@@ -257,6 +275,7 @@ let suites =
         qtest prop_pipeline_equiv;
         qtest prop_tree_ops_equiv;
         qtest prop_bfs_leader_exchange_equiv;
+        qtest prop_empty_plan_identity;
         Alcotest.test_case "single node" `Quick test_single_node;
         Alcotest.test_case "round limit" `Quick test_round_limit_equiv;
         Alcotest.test_case "halt hook" `Quick test_halt_equiv;
