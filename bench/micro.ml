@@ -49,9 +49,15 @@ let path256 = lazy (Gen.path 256)
 let shared_tree =
   lazy (fst (Dsf_congest.Bfs.build (Lazy.force shared_graph) ~root:0))
 
+(* Engine-pair benchmarks drive whole entry points (Bellman_ford.sssp,
+   Det_dsf.run, ...) through both engines; like the differential suite,
+   that is only possible via the global engine shim — the per-run
+   [?reference] parameter is not threaded through those APIs on purpose.
+   Single-domain: the bench harness never runs this inside a pool task. *)
 let in_reference f =
   Sim.use_reference_engine := true;
   Fun.protect ~finally:(fun () -> Sim.use_reference_engine := false) f
+[@@lint.allow "sim-globals"]
 
 (* Each case is a sparse-activity CONGEST workload returning its stats; it
    is benchmarked once on the active-set engine and once on the kept seed

@@ -235,12 +235,13 @@ let e6 () =
       let gad = Dsf_lower_bound.Gadgets.cr_gadget ~universe:u ~rho:2 ~a ~b in
       let res, bits =
         Dsf_lower_bound.Gadgets.cut_bits gad.Dsf_lower_bound.Gadgets.cr_side
-          (fun () ->
+          (fun ~observer ->
             let ic =
-              (Dsf_core.Transform.cr_to_ic gad.Dsf_lower_bound.Gadgets.cr)
+              (Dsf_core.Transform.cr_to_ic ~observer
+                 gad.Dsf_lower_bound.Gadgets.cr)
                 .Dsf_core.Transform.value
             in
-            Dsf_core.Det_dsf.run ic)
+            Dsf_core.Det_dsf.run ~observer ic)
       in
       let consistent =
         Dsf_lower_bound.Gadgets.cr_answer_consistent gad
@@ -275,11 +276,14 @@ let e7 () =
       let gad = Dsf_lower_bound.Gadgets.ic_gadget ~universe:u ~a ~b in
       let res, bits =
         Dsf_lower_bound.Gadgets.cut_bits gad.Dsf_lower_bound.Gadgets.ic_side
-          (fun () ->
+          (fun ~observer ->
             (* The honest pipeline: the distributed minimalization is where
                the per-label information must cross the bridge. *)
-            let out = Dsf_core.Transform.minimalize gad.Dsf_lower_bound.Gadgets.ic in
-            Dsf_core.Det_dsf.run out.Dsf_core.Transform.value)
+            let out =
+              Dsf_core.Transform.minimalize ~observer
+                gad.Dsf_lower_bound.Gadgets.ic
+            in
+            Dsf_core.Det_dsf.run ~observer out.Dsf_core.Transform.value)
       in
       let consistent =
         Dsf_lower_bound.Gadgets.ic_answer_consistent gad

@@ -26,6 +26,13 @@ else
 fi
 
 with_timeout 900 dune build
+
+# Static analysis: dsf-lint's repo invariants (no global mutable state in
+# lib/, no deprecated Sim globals outside the differential suites, no
+# nondeterminism sources, CONGEST message discipline, no catch-all
+# handlers).  Fails on any finding not in lint.baseline.
+with_timeout 300 dune build @lint
+
 with_timeout 900 dune runtest
 
 scratch=_build/ci

@@ -169,9 +169,12 @@ let gadget_cmd kind universe seed intersect =
       let gad = Dsf_lower_bound.Gadgets.ic_gadget ~universe ~a ~b in
       let (res, bits) =
         Dsf_lower_bound.Gadgets.cut_bits gad.Dsf_lower_bound.Gadgets.ic_side
-          (fun () ->
-            let out = Dsf_core.Transform.minimalize gad.Dsf_lower_bound.Gadgets.ic in
-            Dsf_core.Det_dsf.run out.Dsf_core.Transform.value)
+          (fun ~observer ->
+            let out =
+              Dsf_core.Transform.minimalize ~observer
+                gad.Dsf_lower_bound.Gadgets.ic
+            in
+            Dsf_core.Det_dsf.run ~observer out.Dsf_core.Transform.value)
       in
       Format.printf
         "IC gadget (Fig 1 right): universe=%d disjoint=%b bridge_used=%b cut_bits=%d@."
@@ -183,9 +186,12 @@ let gadget_cmd kind universe seed intersect =
       let gad = Dsf_lower_bound.Gadgets.cr_gadget ~universe ~rho:2 ~a ~b in
       let (res, bits) =
         Dsf_lower_bound.Gadgets.cut_bits gad.Dsf_lower_bound.Gadgets.cr_side
-          (fun () ->
-            let out = Dsf_core.Transform.cr_to_ic gad.Dsf_lower_bound.Gadgets.cr in
-            Dsf_core.Det_dsf.run out.Dsf_core.Transform.value)
+          (fun ~observer ->
+            let out =
+              Dsf_core.Transform.cr_to_ic ~observer
+                gad.Dsf_lower_bound.Gadgets.cr
+            in
+            Dsf_core.Det_dsf.run ~observer out.Dsf_core.Transform.value)
       in
       let heavy =
         List.exists

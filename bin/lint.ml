@@ -1,0 +1,85 @@
+(* dsf-lint driver: scan, subtract suppressions and the baseline, render.
+   Exit 0 = clean, 1 = findings, 2 = a file failed to parse or read.
+   See the "Static analysis" section of HACKING.md for the rule
+   catalogue and the suppression syntax. *)
+
+let usage =
+  "dsf-lint: repo-specific invariant checks (determinism, domain-safety, \
+   CONGEST discipline)\n\
+   usage: lint [options] [paths]   (default paths: lib bin bench)\n\
+   options:"
+
+let () =
+  let json = ref false in
+  let baseline_file = ref "" in
+  let update_baseline = ref false in
+  let list_rules = ref false in
+  let root = ref "" in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as JSON on stdout");
+      ( "--baseline",
+        Arg.Set_string baseline_file,
+        "FILE subtract grandfathered findings recorded in FILE" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the --baseline file to cover the current findings" );
+      ( "--root",
+        Arg.Set_string root,
+        "DIR chdir to DIR before scanning (paths are reported relative)" );
+      ("--rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Dsf_lint.Lint.rule) ->
+        Printf.printf "%-18s %s\n%-18s   why: %s\n" r.id r.synopsis "" r.rationale)
+      Dsf_lint.Lint.rules;
+    exit 0
+  end;
+  if !root <> "" then Sys.chdir !root;
+  let roots = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
+  let findings, errors = Dsf_lint.Lint.scan ~roots in
+  if errors <> [] then begin
+    List.iter (Printf.eprintf "lint: %s\n") errors;
+    exit 2
+  end;
+  if !update_baseline then begin
+    if !baseline_file = "" then begin
+      prerr_endline "lint: --update-baseline requires --baseline FILE";
+      exit 2
+    end;
+    Dsf_lint.Lint.Baseline.save !baseline_file findings;
+    Printf.printf "lint: wrote %d baseline entr%s to %s\n"
+      (List.length findings)
+      (if List.length findings = 1 then "y" else "ies")
+      !baseline_file;
+    exit 0
+  end;
+  let entries =
+    if !baseline_file = "" then [] else Dsf_lint.Lint.Baseline.load !baseline_file
+  in
+  let kept, suppressed, stale = Dsf_lint.Lint.Baseline.apply entries findings in
+  if !json then print_endline (Dsf_lint.Finding.json_of_list kept)
+  else begin
+    List.iter
+      (fun f -> Format.printf "@[<v>%a@]@." Dsf_lint.Finding.pp f)
+      kept;
+    List.iter
+      (fun (e : Dsf_lint.Lint.Baseline.entry) ->
+        Printf.printf
+          "lint: stale baseline entry (no longer fires): %s [%s] %s\n"
+          e.bfile e.brule e.bmessage)
+      stale;
+    if kept = [] then
+      Printf.printf "lint: clean (%d file-scoped suppression%s via baseline)\n"
+        suppressed
+        (if suppressed = 1 then "" else "s")
+    else
+      Printf.printf "lint: %d finding%s (%d baselined)\n" (List.length kept)
+        (if List.length kept = 1 then "" else "s")
+        suppressed
+  end;
+  exit (if kept = [] then 0 else 1)

@@ -64,9 +64,12 @@ let () =
   Format.printf "@.cheapest plan: %s at cost %d@." best.Solver.algorithm
     best.Solver.weight;
 
-  (* Where does the coordination traffic concentrate? *)
-  let _, trace =
-    Dsf_congest.Trace.record (fun () -> Dsf_core.Det_dsf.run inst)
+  (* Where does the coordination traffic concentrate?  The per-run
+     observer is the domain-safe way to tap the simulator (see the
+     domain-safety contract in lib/congest/sim.mli). *)
+  let trace = Dsf_congest.Trace.create () in
+  let _ =
+    Dsf_core.Det_dsf.run ~observer:(Dsf_congest.Trace.observer trace) inst
   in
   Format.printf "@.protocol traffic: %d messages, %d bits; hottest links:@."
     (Dsf_congest.Trace.messages trace)

@@ -51,7 +51,10 @@ type observer = src:int -> dst:int -> bits:int -> unit
    existing single-domain callers.  Parallel harness code passes the
    per-run [?observer] parameter instead and must not touch this ref while
    a fan-out is running. *)
-let observer : observer option ref = ref None
+(* Process-global by definition: this *is* the deprecated shim the
+   domain-safety contract warns about; dsf-lint keeps anyone else from
+   growing another one. *)
+let observer : observer option ref = ref None [@@lint.allow "global-state"]
 
 let set_observer f = observer := f
 
@@ -261,7 +264,7 @@ let run_reference ?max_rounds ?halt ?observer:per_run g proto =
 (* Deprecated global shim, same contract as [observer] above: the
    per-run [?reference] parameter is the domain-safe way to pick the
    engine. *)
-let use_reference_engine = ref false
+let use_reference_engine = ref false [@@lint.allow "global-state"]
 
 (* Active-set engine.  Per-round work is proportional to the number of
    *active* nodes and the messages they send, plus an O(n) sweep of three

@@ -4,16 +4,23 @@ type t = {
   per_edge : (int * int, int) Hashtbl.t;
 }
 
+let create () = { messages = 0; bits = 0; per_edge = Hashtbl.create 64 }
+
+let observer t ~src ~dst ~bits =
+  t.messages <- t.messages + 1;
+  t.bits <- t.bits + bits;
+  let key = src, dst in
+  Hashtbl.replace t.per_edge key
+    (bits + Option.value ~default:0 (Hashtbl.find_opt t.per_edge key))
+
+(* [record] is the single-domain convenience: the thunk does not take an
+   observer, so the only way to tap the runs inside it is the deprecated
+   process-wide shim.  That dependency is intentional and visible here —
+   pooled callers must use [create] + [observer] with the per-run
+   [?observer] parameter instead. *)
 let record f =
-  let t = { messages = 0; bits = 0; per_edge = Hashtbl.create 64 } in
-  let observe ~src ~dst ~bits =
-    t.messages <- t.messages + 1;
-    t.bits <- t.bits + bits;
-    let key = src, dst in
-    Hashtbl.replace t.per_edge key
-      (bits + Option.value ~default:0 (Hashtbl.find_opt t.per_edge key))
-  in
-  let result = Sim.with_observer observe f in
+  let t = create () in
+  let result = (Sim.with_observer [@lint.allow "sim-globals"]) (observer t) f in
   result, t
 
 let messages t = t.messages

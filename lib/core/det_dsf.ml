@@ -95,10 +95,10 @@ let g_copy gs =
     rad = Array.copy gs.rad;
   }
 
-let run inst0 =
+let run ?observer inst0 =
   (* Lemma 2.4's minimalization runs as a real protocol; its rounds join
      the ledger below once it exists. *)
-  let minimalized = Transform.minimalize inst0 in
+  let minimalized = Transform.minimalize ?observer inst0 in
   let inst = minimalized.Transform.value in
   let g = inst.Instance.graph in
   let n = Graph.n g in
@@ -125,17 +125,17 @@ let run inst0 =
   else begin
     (* ---- Setup: BFS tree; make all (terminal, label) pairs global. ---- *)
     let root = Bfs.max_id_root g in
-    let tree, bfs_stats = Bfs.build g ~root in
+    let tree, bfs_stats = Bfs.build ?observer g ~root in
     note_stats "setup: BFS tree" bfs_stats;
     Ledger.add ledger Ledger.Simulated "setup: minimalize instance (Lemma 2.4)"
       minimalized.Transform.rounds;
     let term_items v = if inst.Instance.labels.(v) >= 0 then [ v, inst.Instance.labels.(v) ] else [] in
     let pair_bits (_, _) = 2 * Bitsize.id_bits ~n in
     let collected, up_stats =
-      Tree_ops.upcast g ~tree ~items:term_items ~bits:pair_bits
+      Tree_ops.upcast ?observer g ~tree ~items:term_items ~bits:pair_bits
     in
     note_stats "setup: collect terminals" up_stats;
-    let _, bc_stats = Tree_ops.broadcast g ~tree ~items:collected ~bits:pair_bits in
+    let _, bc_stats = Tree_ops.broadcast ?observer g ~tree ~items:collected ~bits:pair_bits in
     note_stats "setup: broadcast terminals" bc_stats;
     (* ---- Replicated global state. ---- *)
     let tindex = Hashtbl.create t in
@@ -186,13 +186,13 @@ let run inst0 =
         |> List.filter_map Fun.id
       in
       (* a. Terminal decomposition (Lemma 4.8). *)
-      let bf, bf_stats = Region_bf.run g ~sources ~frozen in
+      let bf, bf_stats = Region_bf.run ?observer g ~sources ~frozen in
       note_stats (tag "decomposition BF") bf_stats;
       let towner u = if frozen.(u) then owner.(u) else bf.(u).Region_bf.owner in
       let toffset u = if frozen.(u) then offset.(u) else bf.(u).Region_bf.offset in
       (* b. Candidate merges at region boundaries (Definition 4.11). *)
       let ex_stats =
-          Dsf_congest.Exchange.all_neighbors g
+          Dsf_congest.Exchange.all_neighbors ?observer g
             ~payload_bits:((2 * Bitsize.id_bits ~n) + 2)
         in
         Ledger.add ledger Ledger.Simulated (tag "boundary exchange") ex_stats.Sim.rounds;
@@ -247,12 +247,12 @@ let run inst0 =
         + (4 * Bitsize.id_bits ~n)
       in
       let accepted, pipe_stats =
-        Pipeline.filtered_upcast ~stop_at_root g ~tree ~vn:t ~pre ~items
+        Pipeline.filtered_upcast ?observer ~stop_at_root g ~tree ~vn:t ~pre ~items
           ~cmp:ckey_cmp ~bits:ckey_bits
       in
       note_stats (tag "candidate collection") pipe_stats;
       let _, stop_stats =
-        Tree_ops.broadcast g ~tree ~items:[ () ] ~bits:(fun () -> 1)
+        Tree_ops.broadcast ?observer g ~tree ~items:[ () ] ~bits:(fun () -> 1)
       in
       note_stats (tag "stop broadcast") stop_stats;
       (* Truncate at the first activity-changing merge. *)
@@ -273,7 +273,7 @@ let run inst0 =
       in
       (* d. Broadcast the phase's merges; everyone updates locally. *)
       let _, bcast_stats =
-        Tree_ops.broadcast g ~tree ~items:phase_merges ~bits:ckey_bits
+        Tree_ops.broadcast ?observer g ~tree ~items:phase_merges ~bits:ckey_bits
       in
       note_stats (tag "merge broadcast") bcast_stats;
       let active_at_start = Array.init t (fun ti -> g_active gs ti) in
@@ -351,7 +351,7 @@ let run inst0 =
         seeds.(e.Graph.u) <- true;
         seeds.(e.Graph.v) <- true)
       fmin;
-    let flood_edges, tf_stats = Select.token_flood g ~parent ~seeds in
+    let flood_edges, tf_stats = Select.token_flood ?observer g ~parent ~seeds in
     note_stats "final: token flood (path selection)" tf_stats;
     List.iter (fun eid -> solution.(eid) <- true) flood_edges;
     (* Merge-level minimality (F_min) is not quite edge-level minimality:

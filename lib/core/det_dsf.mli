@@ -38,6 +38,10 @@ type result = {
   max_edge_round_bits : int;  (** congestion discipline check *)
 }
 
-val run : Dsf_graph.Instance.ic -> result
+val run :
+  ?observer:Dsf_congest.Sim.observer -> Dsf_graph.Instance.ic -> result
 (** Requires a connected graph.  Singleton components are dropped
-    (Lemma 2.4; the O(D + k) transform is charged to the ledger). *)
+    (Lemma 2.4; the O(D + k) transform is charged to the ledger).
+    [observer] taps every message of every simulated subroutine —
+    per-run and domain-safe, the replacement for wrapping the call in
+    {!Dsf_congest.Sim.with_observer}. *)

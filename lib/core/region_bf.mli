@@ -20,10 +20,11 @@ type node_result = {
 }
 
 val run :
+  ?observer:Dsf_congest.Sim.observer ->
   Dsf_graph.Graph.t ->
   sources:(int * Frac.t * int) list ->
   frozen:bool array ->
   node_result array * Dsf_congest.Sim.stats
 (** [run g ~sources ~frozen] with [sources = [(node, offset, owner); ...]].
     Frozen nodes keep [owner = -1] in the result (callers retain their old
-    assignment). *)
+    assignment).  [observer] taps the run's messages (per-run, domain-safe). *)

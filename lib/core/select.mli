@@ -7,10 +7,12 @@
     exactly the union of the merge paths' tree segments. *)
 
 val token_flood :
+  ?observer:Dsf_congest.Sim.observer ->
   Dsf_graph.Graph.t ->
   parent:int array ->
   seeds:bool array ->
   int list * Dsf_congest.Sim.stats
 (** Returns the selected edge ids and the simulation stats.  [parent.(v)]
     is the frozen region-tree parent (-1 at region roots); [seeds] marks
-    the nodes that start with a token. *)
+    the nodes that start with a token.  [observer] taps the run's messages
+    (per-run, domain-safe). *)

@@ -44,7 +44,8 @@ let of_ledger algo inst solution weight dual ledger =
 (* The Khan baseline lives in dsf_baseline, which depends on dsf_core; to
    keep the front end in core without a cycle, callers inject it.  The
    default hook raises; dsf_baseline installs the real one at load time
-   (see Dsf_baseline.Khan_etal). *)
+   (see Dsf_baseline.Khan_etal).  Process-global by design: written once
+   during linking, read-only afterwards — domain-safe in practice. *)
 let khan_hook :
     (repetitions:int -> rng:Dsf_util.Rng.t -> Instance.ic ->
      bool array * int * Ledger.t)
@@ -53,6 +54,7 @@ let khan_hook :
       failwith
         "Solver: Khan baseline requested but dsf_baseline is not linked; \
          depend on dsf_baseline or avoid Khan_baseline")
+[@@lint.allow "global-state"]
 
 let solve_ic ?(jobs = 1) algo inst =
   match algo with

@@ -1,6 +1,8 @@
+(* A list, not an array: the table is read-only and a toplevel array
+   would be writable shared state (dsf-lint's global-state rule). *)
 let palette =
-  [| "lightblue"; "lightcoral"; "palegreen"; "gold"; "plum"; "orange";
-     "cyan"; "pink"; "yellowgreen"; "tan" |]
+  [ "lightblue"; "lightcoral"; "palegreen"; "gold"; "plum"; "orange";
+    "cyan"; "pink"; "yellowgreen"; "tan" ]
 
 let graph ppf g =
   Format.fprintf ppf "@[<v>graph G {@,  node [shape=circle];@,";
@@ -18,7 +20,7 @@ let instance ?solution ppf (inst : Instance.ic) =
       if l >= 0 then
         Format.fprintf ppf
           "  %d [shape=box style=filled fillcolor=%s label=\"%d:%d\"];@," v
-          palette.(l mod Array.length palette)
+          (List.nth palette (l mod List.length palette))
           v l)
     inst.Instance.labels;
   Array.iter

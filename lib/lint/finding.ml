@@ -1,0 +1,53 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  hint : string;
+}
+
+let compare a b =
+  Stdlib.compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s@,  hint: %s" f.file f.line f.col
+    f.rule f.message f.hint
+
+(* Minimal JSON string escaping: the two mandatory escapes plus control
+   characters; everything else (including UTF-8 bytes) passes through. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+     \"message\": \"%s\", \"hint\": \"%s\"}"
+    (json_escape f.file) f.line f.col (json_escape f.rule)
+    (json_escape f.message) (json_escape f.hint)
+
+let json_of_list fs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (to_json f))
+    fs;
+  Buffer.add_string b (Printf.sprintf "], \"count\": %d}" (List.length fs));
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** A single dsf-lint diagnostic: where, which rule, what, and how to fix.
+
+    Findings are value-only (no formatting state), so rule implementations
+    can build them anywhere and the driver decides how to render — human
+    [file:line:col] lines for terminals, JSON for tooling. *)
+
+type t = {
+  file : string;  (** path relative to the scan root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler locations *)
+  rule : string;  (** rule id, e.g. ["global-state"] *)
+  message : string;  (** what is wrong, specific to the site *)
+  hint : string;  (** how to fix or legitimately suppress it *)
+}
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule, message) for stable reports. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [rule] message] followed by an indented hint line. *)
+
+val to_json : t -> string
+(** One finding as a JSON object (hand-rolled; no JSON library in the
+    toolchain). *)
+
+val json_of_list : t list -> string
+(** The full report: [{"findings": [...], "count": n}]. *)

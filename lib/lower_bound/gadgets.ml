@@ -1,6 +1,5 @@
 module Graph = Dsf_graph.Graph
 module Instance = Dsf_graph.Instance
-module Sim = Dsf_congest.Sim
 
 type side = Alice | Bob
 
@@ -113,7 +112,7 @@ let cut_bits sides f =
   let observe ~src ~dst ~bits =
     if sides.(src) <> sides.(dst) then total := !total + bits
   in
-  let result = Sim.with_observer observe f in
+  let result = f ~observer:observe in
   result, !total
 
 type padding = {

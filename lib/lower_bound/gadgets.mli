@@ -48,10 +48,15 @@ val cr_answer_consistent : cr_gadget -> bool array -> bool
 val ic_answer_consistent : ic_gadget -> bool array -> bool
 (** The bridge edge is used iff the sets intersect. *)
 
-val cut_bits : side array -> (unit -> 'a) -> 'a * int
-(** [cut_bits sides f] runs [f] with a simulator observer installed and
-    returns its result plus the total bits that crossed the Alice/Bob cut
-    in every simulation [f] performed. *)
+val cut_bits :
+  side array -> (observer:Dsf_congest.Sim.observer -> 'a) -> 'a * int
+(** [cut_bits sides f] hands [f] a cut-metering observer and returns [f]'s
+    result plus the total bits that crossed the Alice/Bob cut in every
+    simulation [f] threaded the observer through.  The observer is a
+    per-run value (pass it as [?observer] to the solver entry points), so
+    concurrent cut measurements on separate domains do not interfere —
+    unlike the old [Sim.with_observer]-based version, which installed a
+    process-wide tap. *)
 
 type padding = {
   extra_nodes : int;  (** isolated-chain nodes to inflate n *)

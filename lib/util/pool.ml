@@ -1,5 +1,12 @@
 exception Nested_use
 
+(* The pool is the one deliberately process-global resource in the
+   library: a single fixed set of worker domains plus the handshake state
+   they rendezvous on.  Everything below is guarded by [lock]/[busy] and
+   exists precisely so that *other* modules can stay free of global
+   mutable state. *)
+[@@@lint.allow "global-state"]
+
 let hard_cap = 8
 
 let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) hard_cap)
@@ -47,8 +54,12 @@ let run_chunks b =
           if b.completed = b.chunks then Condition.broadcast batch_done;
           Mutex.unlock lock)
         (fun () ->
+          (* Not swallowed: every failure is routed to the batch's
+             [on_error], which records it for deterministic re-raise in
+             the calling domain (see [map_chunked]). *)
           try b.run i
-          with e -> b.on_error i e (Printexc.get_raw_backtrace ()));
+          with e [@lint.allow "catch-all"] ->
+            b.on_error i e (Printexc.get_raw_backtrace ()));
       pull ()
     end
   in
@@ -69,7 +80,7 @@ let rec worker_loop last_gen =
      [run_chunks] (only possible if an [on_error] callback raised) so the
      domain returns to [await] instead of dying and silently shrinking
      the pool. *)
-  (try run_chunks b with _ -> ());
+  (try run_chunks b with _ -> ()) [@lint.allow "catch-all"];
   worker_loop b.gen
 
 let ensure_workers want =

@@ -1,0 +1,232 @@
+(* dsf-lint: every rule must fire on a minimal bad fixture and stay quiet
+   on the corresponding good one, each suppression form must silence
+   exactly the named rule, and the baseline must grandfather findings by
+   (file, rule, message) while flagging stale entries. *)
+
+open Dsf_lint
+
+let check = Alcotest.check
+
+(* Lint [src] as if it lived at [file]; return the rule ids that fired. *)
+let rules_of ~file src =
+  match Lint.check_string ~file src with
+  | Ok findings -> List.map (fun (f : Finding.t) -> f.Finding.rule) findings
+  | Error e -> Alcotest.failf "unexpected parse error for %s: %s" file e
+
+let fires ~file rule src =
+  check Alcotest.bool
+    (Printf.sprintf "%s fires in %s" rule file)
+    true
+    (List.mem rule (rules_of ~file src))
+
+let quiet ~file src =
+  check Alcotest.(list string)
+    (Printf.sprintf "quiet in %s" file)
+    [] (rules_of ~file src)
+
+(* ----------------------------------------------------------- global-state *)
+
+let test_global_state () =
+  fires ~file:"lib/core/bad.ml" "global-state" "let cache = Hashtbl.create 16";
+  fires ~file:"lib/core/bad.ml" "global-state" "let counter = ref 0";
+  fires ~file:"lib/core/bad.ml" "global-state" "let buf = Buffer.create 64";
+  fires ~file:"lib/core/bad.ml" "global-state" "let flag = Atomic.make false";
+  fires ~file:"lib/core/bad.ml" "global-state" "let table = [| 1; 2; 3 |]";
+  fires ~file:"lib/core/bad.ml" "global-state"
+    "let state : int ref = ref 0";
+  (* mutable record fields at toplevel *)
+  fires ~file:"lib/core/bad.ml" "global-state"
+    "type t = { mutable n : int }\nlet shared = { n = 0 }";
+  (* allocation inside a function is per-call, not shared *)
+  quiet ~file:"lib/core/good.ml" "let fresh () = ref 0";
+  quiet ~file:"lib/core/good.ml"
+    "let count xs = let h = Hashtbl.create 8 in List.length xs + Hashtbl.length h";
+  (* immutable toplevel data is fine *)
+  quiet ~file:"lib/core/good.ml" "let palette = [ \"red\"; \"blue\" ]";
+  (* the rule is scoped to lib/: executables and tests may keep state *)
+  quiet ~file:"bin/tool.ml" "let verbose = ref false";
+  quiet ~file:"test/test_x.ml" "let seen = Hashtbl.create 16";
+  quiet ~file:"bench/micro.ml" "let acc = ref 0"
+
+(* ------------------------------------------------------------ sim-globals *)
+
+let test_sim_globals () =
+  fires ~file:"lib/core/bad.ml" "sim-globals"
+    "let go obs = Sim.set_observer (Some obs)";
+  fires ~file:"lib/core/bad.ml" "sim-globals"
+    "let go obs f = Dsf_congest.Sim.with_observer obs f";
+  fires ~file:"bench/bad.ml" "sim-globals"
+    "let slow () = Sim.use_reference_engine := true";
+  (* the differential suites are the allowlisted consumers of the shims *)
+  quiet ~file:"test/test_sim_equiv.ml"
+    "let go obs f = Sim.with_observer obs f";
+  quiet ~file:"lib/congest/sim.ml"
+    "let go obs f = Sim.with_observer obs f";
+  (* same function names on other modules are unrelated *)
+  quiet ~file:"lib/core/good.ml"
+    "let go obs = Registry.set_observer obs"
+
+(* ----------------------------------------------------------------- nondet *)
+
+let test_nondet () =
+  fires ~file:"lib/core/bad.ml" "nondet" "let () = Random.self_init ()";
+  fires ~file:"test/test_x.ml" "nondet" "let () = Random.self_init ()";
+  fires ~file:"lib/core/bad.ml" "nondet" "let roll () = Random.int 6";
+  fires ~file:"lib/core/bad.ml" "nondet" "let now () = Unix.gettimeofday ()";
+  fires ~file:"bin/tool.ml" "nondet" "let now () = Sys.time ()";
+  fires ~file:"lib/core/bad.ml" "nondet" "let me () = Domain.self ()";
+  (* seeded state threading is the sanctioned way to use randomness *)
+  quiet ~file:"lib/core/good.ml"
+    "let roll st = Random.State.int st 6";
+  (* benches may read the wall clock and use the global RNG *)
+  quiet ~file:"bench/micro.ml" "let now () = Unix.gettimeofday ()";
+  quiet ~file:"bench/micro.ml" "let roll () = Random.int 6"
+
+(* ----------------------------------------------- congest-discipline *)
+
+let test_congest_discipline () =
+  fires ~file:"lib/core/bad.ml" "congest-discipline"
+    "let tick proto view st inbox = proto.Sim.step view st ~inbox";
+  fires ~file:"lib/core/bad.ml" "congest-discipline"
+    "let clear st = st.inbox <- []";
+  fires ~file:"lib/core/bad.ml" "congest-discipline"
+    "let push st m = st.outbox <- m :: st.outbox";
+  (* the simulator itself is the one place allowed to drive [step] *)
+  quiet ~file:"lib/congest/sim.ml"
+    "let tick proto view st inbox = proto.Sim.step view st ~inbox";
+  (* unrelated fields and functions stay quiet *)
+  quiet ~file:"lib/core/good.ml" "let clear st = st.items <- []";
+  quiet ~file:"lib/core/good.ml" "let tick m = m.advance ()"
+
+(* -------------------------------------------------------------- catch-all *)
+
+let test_catch_all () =
+  fires ~file:"lib/core/bad.ml" "catch-all"
+    "let safe f = try f () with _ -> ()";
+  fires ~file:"lib/core/bad.ml" "catch-all"
+    "let safe f = try f () with e -> ignore e";
+  fires ~file:"lib/core/bad.ml" "catch-all"
+    "let safe f = match f () with x -> x | exception _ -> 0";
+  (* naming the exceptions you mean to swallow is fine *)
+  quiet ~file:"lib/core/good.ml"
+    "let safe f = try f () with Not_found -> ()";
+  quiet ~file:"lib/core/good.ml"
+    "let safe f = try f () with Failure _ | Not_found -> ()";
+  (* binding in order to re-raise is the sanctioned firewall idiom *)
+  quiet ~file:"lib/core/good.ml"
+    "let safe f = try f () with e -> cleanup (); raise e";
+  quiet ~file:"lib/core/good.ml"
+    "let safe f = try f () with e -> \
+     Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())"
+
+(* ------------------------------------------------------------ suppression *)
+
+let test_suppression () =
+  (* expression attribute *)
+  quiet ~file:"lib/core/x.ml"
+    "let safe f = (try f () with _ -> ()) [@lint.allow \"catch-all\"]";
+  (* binding item attribute *)
+  quiet ~file:"lib/core/x.ml"
+    "let cache = Hashtbl.create 16 [@@lint.allow \"global-state\"]";
+  (* floating attribute covers the rest of the module... *)
+  quiet ~file:"lib/core/x.ml"
+    "[@@@lint.allow \"global-state\"]\nlet a = ref 0\nlet b = ref 1";
+  (* ...but not sites before it *)
+  fires ~file:"lib/core/x.ml" "global-state"
+    "let a = ref 0\n[@@@lint.allow \"global-state\"]\nlet b = ref 1";
+  (* a suppression names its rule: others still fire *)
+  fires ~file:"lib/core/x.ml" "global-state"
+    "let cache = Hashtbl.create 16 [@@lint.allow \"catch-all\"]";
+  (* several ids, space-separated *)
+  quiet ~file:"lib/core/x.ml"
+    "let cache = Hashtbl.create 16 [@@lint.allow \"catch-all global-state\"]";
+  (* empty payload allows everything under the node *)
+  quiet ~file:"lib/core/x.ml" "let cache = Hashtbl.create 16 [@@lint.allow]";
+  (* the catch-all rule also honours an attribute on the handler pattern *)
+  quiet ~file:"lib/core/x.ml"
+    "let safe f = try f () with _ [@lint.allow \"catch-all\"] -> ()";
+  quiet ~file:"lib/core/x.ml"
+    "let safe f = match f () with x -> x \
+     | exception (e [@lint.allow \"catch-all\"]) -> ignore e; 0"
+
+(* ---------------------------------------------------------------- scoping *)
+
+let test_zones_and_errors () =
+  check Alcotest.bool "lib zone" true (Lint.zone_of_path "lib/core/x.ml" = Lint.Lib);
+  check Alcotest.bool "bench zone" true (Lint.zone_of_path "bench/x.ml" = Lint.Bench);
+  check Alcotest.bool "other zone" true (Lint.zone_of_path "examples/x.ml" = Lint.Other);
+  (match Lint.check_string ~file:"lib/core/broken.ml" "let = 3 in" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error expected");
+  check Alcotest.int "rule catalogue" 5 (List.length Lint.rules)
+
+(* --------------------------------------------------------------- baseline *)
+
+let test_baseline () =
+  let f1 : Finding.t =
+    { file = "lib/core/a.ml"; line = 3; col = 0; rule = "global-state";
+      message = "toplevel mutable"; hint = "" }
+  and f2 : Finding.t =
+    { file = "lib/core/b.ml"; line = 9; col = 2; rule = "catch-all";
+      message = "catch-all handler"; hint = "" }
+  in
+  let path = Filename.temp_file "dsf_lint_test" ".baseline" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Lint.Baseline.save path [ f1; f2 ];
+  let entries = Lint.Baseline.load path in
+  check Alcotest.int "roundtrip size" 2 (List.length entries);
+  (* both covered: nothing kept, none stale *)
+  let kept, n, stale = Lint.Baseline.apply entries [ f1; f2 ] in
+  check Alcotest.int "kept" 0 (List.length kept);
+  check Alcotest.int "suppressed" 2 n;
+  check Alcotest.int "stale" 0 (List.length stale);
+  (* matching ignores the line number: an edit above the site moves it *)
+  let moved = { f1 with line = 40; col = 7 } in
+  let kept, n, _ = Lint.Baseline.apply entries [ moved ] in
+  check Alcotest.int "line-insensitive kept" 0 (List.length kept);
+  check Alcotest.int "line-insensitive suppressed" 1 n;
+  (* a fixed finding leaves its entry stale; a new one is kept *)
+  let f3 = { f1 with file = "lib/core/c.ml" } in
+  let kept, _, stale = Lint.Baseline.apply entries [ f1; f3 ] in
+  check Alcotest.int "new finding kept" 1 (List.length kept);
+  check Alcotest.int "fixed entry stale" 1 (List.length stale);
+  check Alcotest.string "stale is f2" "lib/core/b.ml"
+    (List.hd stale).Lint.Baseline.bfile;
+  (* missing baseline file = empty *)
+  check Alcotest.int "missing file" 0
+    (List.length (Lint.Baseline.load "/nonexistent/dsf.baseline"))
+
+(* The shipped tree must be lint-clean: the same invariant `dune build
+   @lint` enforces in CI, checked here from the repo root when visible.
+   (Alcotest may run from _build sandboxes without the sources; skip
+   silently then.) *)
+let test_repo_clean () =
+  let root = ".." in
+  if Sys.file_exists (Filename.concat root "lib") then begin
+    let roots =
+      List.filter
+        (fun d -> Sys.file_exists (Filename.concat root d))
+        [ "lib"; "bin"; "bench" ]
+      |> List.map (Filename.concat root)
+    in
+    let findings, errors = Lint.scan ~roots in
+    check Alcotest.(list string) "no scan errors" [] errors;
+    List.iter (fun f -> Format.eprintf "%a@." Finding.pp f) findings;
+    check Alcotest.int "repo findings" 0 (List.length findings)
+  end
+
+let suites =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "global-state" `Quick test_global_state;
+        Alcotest.test_case "sim-globals" `Quick test_sim_globals;
+        Alcotest.test_case "nondet" `Quick test_nondet;
+        Alcotest.test_case "congest-discipline" `Quick test_congest_discipline;
+        Alcotest.test_case "catch-all" `Quick test_catch_all;
+        Alcotest.test_case "suppression" `Quick test_suppression;
+        Alcotest.test_case "zones and parse errors" `Quick test_zones_and_errors;
+        Alcotest.test_case "baseline" `Quick test_baseline;
+        Alcotest.test_case "repo is lint-clean" `Quick test_repo_clean;
+      ] );
+  ]

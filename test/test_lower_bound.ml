@@ -84,9 +84,12 @@ let test_cut_bits_measured () =
   let a, b = Gadgets.random_sets (rng 9) ~universe:12 ~density:0.5 ~force_intersect:false in
   let gad = Gadgets.cr_gadget ~universe:12 ~rho:2 ~a ~b in
   let _, bits =
-    Gadgets.cut_bits gad.Gadgets.cr_side (fun () ->
-        let ic = (Dsf_core.Transform.cr_to_ic gad.Gadgets.cr).Dsf_core.Transform.value in
-        Dsf_core.Det_dsf.run ic)
+    Gadgets.cut_bits gad.Gadgets.cr_side (fun ~observer ->
+        let ic =
+          (Dsf_core.Transform.cr_to_ic ~observer gad.Gadgets.cr)
+            .Dsf_core.Transform.value
+        in
+        Dsf_core.Det_dsf.run ~observer ic)
   in
   Alcotest.(check bool) "nontrivial communication across the cut" true (bits > 0)
 
@@ -95,9 +98,12 @@ let test_cut_bits_scale_with_universe () =
     let a, b = Gadgets.random_sets (rng u) ~universe:u ~density:0.5 ~force_intersect:false in
     let gad = Gadgets.cr_gadget ~universe:u ~rho:2 ~a ~b in
     let _, bits =
-      Gadgets.cut_bits gad.Gadgets.cr_side (fun () ->
-          let ic = (Dsf_core.Transform.cr_to_ic gad.Gadgets.cr).Dsf_core.Transform.value in
-          Dsf_core.Det_dsf.run ic)
+      Gadgets.cut_bits gad.Gadgets.cr_side (fun ~observer ->
+          let ic =
+            (Dsf_core.Transform.cr_to_ic ~observer gad.Gadgets.cr)
+              .Dsf_core.Transform.value
+          in
+          Dsf_core.Det_dsf.run ~observer ic)
     in
     bits
   in
@@ -196,9 +202,12 @@ let test_padding_stays_off_the_cut () =
   in
   let solve cr side =
     snd
-      (Gadgets.cut_bits side (fun () ->
-           let ic = (Dsf_core.Transform.cr_to_ic cr).Dsf_core.Transform.value in
-           Dsf_core.Det_dsf.run ic))
+      (Gadgets.cut_bits side (fun ~observer ->
+           let ic =
+             (Dsf_core.Transform.cr_to_ic ~observer cr)
+               .Dsf_core.Transform.value
+           in
+           Dsf_core.Det_dsf.run ~observer ic))
   in
   let base = Gadgets.cr_gadget ~universe:8 ~rho:2 ~a ~b in
   let padding =
