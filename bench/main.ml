@@ -16,11 +16,16 @@
                       (default: recommended domain count, capped); results
                       are identical for every N — only wall time changes
      --out PATH       where micro/smoke write their JSON
-                      (default BENCH_sim.json; CI uses a scratch path) *)
+                      (default BENCH_sim.json; CI uses a scratch path)
+     --trace PATH     additionally write a telemetry trace of the profiled
+                      workloads (E1 + A6) to PATH ('-' = stdout)
+     --trace-format F trace rendering: console | jsonl | chrome
+                      (default chrome) *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|ablations|micro|smoke|chaos] [--jobs N] [--out PATH]";
+    "usage: main.exe [all|tables|ablations|micro|smoke|chaos] [--jobs N] \
+     [--out PATH] [--trace PATH] [--trace-format console|jsonl|chrome]";
   exit 2
 
 let () =
@@ -29,6 +34,8 @@ let () =
   let what = if has_mode then Sys.argv.(1) else "all" in
   let jobs = ref (Dsf_util.Pool.default_jobs ()) in
   let out = ref "BENCH_sim.json" in
+  let trace = ref None in
+  let trace_format = ref "chrome" in
   let i = ref (if has_mode then 2 else 1) in
   while !i < argc do
     (match Sys.argv.(!i) with
@@ -38,10 +45,25 @@ let () =
     | "--out" when !i + 1 < argc ->
         incr i;
         out := Sys.argv.(!i)
+    | "--trace" when !i + 1 < argc ->
+        incr i;
+        trace := Some Sys.argv.(!i)
+    | "--trace-format" when !i + 1 < argc ->
+        incr i;
+        trace_format := Sys.argv.(!i)
     | _ -> usage ());
     incr i
   done;
   let jobs = max 1 !jobs and out = !out in
+  let trace_sink =
+    match !trace with
+    | None -> None
+    | Some path -> begin
+        match Dsf_congest.Telemetry.sink_format_of_string !trace_format with
+        | Ok format -> Some (format, path)
+        | Error msg -> prerr_endline msg; usage ()
+      end
+  in
   Format.printf
     "Distributed Steiner Forest — experiment harness (Lenzen & Patt-Shamir, PODC 2014)@.";
   Format.printf "jobs=%d (recommended domains: %d)@." jobs
@@ -51,4 +73,7 @@ let () =
   if what = "all" || what = "micro" then Micro.run ~jobs ~out ();
   if what = "smoke" then Micro.smoke ~jobs ~out ();
   if what = "all" || what = "chaos" then Chaos.run ();
+  (match trace_sink with
+  | Some (format, path) -> Micro.write_trace ~format path
+  | None -> ());
   Format.printf "@.done.@."

@@ -9,13 +9,15 @@
    - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
      measurement quota — fast enough for every-PR CI (bin/ci.sh).
 
-   Both modes write BENCH_sim.json (schema dsf-bench-sim/3: ns/run, minor GC
+   Both modes write BENCH_sim.json (schema dsf-bench-sim/4: ns/run, minor GC
    words/run, rounds/s, the active/reference speedups, plus provenance —
    git_rev, utc_date, jobs, cores — a parallel_scaling section timing
-   the pooled fan-outs at jobs = 1 / 2 / max, and a fault_overhead section
+   the pooled fan-outs at jobs = 1 / 2 / max, a fault_overhead section
    tabulating the round/message/retransmission cost of Fault.harden at
-   increasing drop probability) so later PRs can diff simulator
-   performance against this one.  Each parallel_scaling workload carries a
+   increasing drop probability, and a phase_profile section with the
+   telemetry span tree of the E1 and A6 workloads — per-phase rounds,
+   messages and bits under an injected constant clock) so later PRs can
+   diff simulator performance against this one.  Each parallel_scaling workload carries a
    deterministic "check" value that must not depend on jobs, and every
    fault_overhead field is PRF-deterministic; bin/ci.sh diffs the
    non-timing fields of a --jobs 1 and a --jobs 2 run to enforce that. *)
@@ -429,6 +431,91 @@ let print_fault_overhead fo =
         (if f.masked then "yes" else "NO"))
     fo
 
+(* ----------------------------------------------------------- phase profile *)
+
+(* Per-phase round/bit attribution for the E1 and A6 sweeps, recorded into
+   BENCH_sim.json so later PRs can diff *where* the rounds go, not just how
+   many there are.  E1's instance family (seed 100, t=8, k=3) is solved by
+   the Algorithm-1 emulation (Det_dsf — the distributed counterpart of the
+   moat growing E1 checks centrally); A6's hardened leader flood runs at
+   the same drop probabilities as the ablation.  The telemetry clock is a
+   constant, so every recorded field is deterministic and jobs-invariant —
+   the ci.sh jobs-diff covers this section without stripping. *)
+
+module Telemetry = Dsf_congest.Telemetry
+
+let run_profiled_workloads tel =
+  Telemetry.span tel "E1" (fun () ->
+      let r = Dsf_util.Rng.create 100 in
+      let g = Gen.random_connected r ~n:40 ~extra_edges:30 ~max_w:10 in
+      let labels = Gen.random_labels r ~n:40 ~t:8 ~k:3 in
+      ignore (Dsf_core.Det_dsf.run ~telemetry:tel (Inst.make_ic g labels)));
+  Telemetry.span tel "A6" (fun () ->
+      let g = Lazy.force shared_graph in
+      let proto = Dsf_congest.Leader.protocol g in
+      List.iter
+        (fun (label, plan) ->
+          Telemetry.span tel label (fun () ->
+              ignore
+                (Dsf_congest.Fault.run_hardened ~telemetry:tel ~plan g proto)))
+        [
+          "drop=0.00", Dsf_congest.Fault.empty;
+          "drop=0.10", Dsf_congest.Fault.plan ~drop:0.1 ~seed:808 ();
+          "drop=0.30", Dsf_congest.Fault.plan ~drop:0.3 ~seed:808 ();
+        ])
+
+type profile_row = {
+  path : string;
+  span_count : int;
+  p_rounds : int;
+  p_messages : int;
+  p_bits : int;
+  p_merb : int;
+  p_ledger_sim : int;
+  p_ledger_charged : int;
+  p_dropped : int;
+  p_retrans : int;
+}
+
+let flatten_profile tel =
+  let rows = ref [] in
+  let rec go prefix (s : Telemetry.span) =
+    let path =
+      if prefix = "" then s.Telemetry.name
+      else prefix ^ "/" ^ s.Telemetry.name
+    in
+    rows :=
+      {
+        path;
+        span_count = s.Telemetry.count;
+        p_rounds = s.Telemetry.rounds;
+        p_messages = s.Telemetry.messages;
+        p_bits = s.Telemetry.bits;
+        p_merb = s.Telemetry.max_edge_round_bits;
+        p_ledger_sim = s.Telemetry.ledger_simulated;
+        p_ledger_charged = s.Telemetry.ledger_charged;
+        p_dropped = s.Telemetry.dropped;
+        p_retrans = s.Telemetry.retransmissions;
+      }
+      :: !rows;
+    List.iter (go path) s.Telemetry.children
+  in
+  List.iter (go "") (Telemetry.root_spans tel);
+  List.rev !rows
+
+let phase_profile () =
+  let tel = Telemetry.create ~clock:(fun () -> 0L) () in
+  run_profiled_workloads tel;
+  flatten_profile tel
+
+(* bench/main.exe --trace: the same workloads under the real clock, written
+   through the requested sink. *)
+let write_trace ~format path =
+  let tel = Telemetry.create () in
+  run_profiled_workloads tel;
+  Telemetry.write_file tel ~format path;
+  if path <> "-" then Format.printf "wrote trace to %s@." path
+
 (* --------------------------------------------------------------- metadata *)
 
 let git_rev () =
@@ -485,10 +572,10 @@ let json_float x =
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
   else Printf.sprintf "%.1f" x
 
-let write_json ~mode ~jobs rows sp scaling fo path =
+let write_json ~mode ~jobs rows sp scaling fo profile path =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"schema\": \"dsf-bench-sim/3\",\n  \"mode\": %S,\n" mode;
+  p "{\n  \"schema\": \"dsf-bench-sim/4\",\n  \"mode\": %S,\n" mode;
   p "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   p "  \"utc_date\": \"%s\",\n" (utc_date ());
   p "  \"jobs\": %d,\n" jobs;
@@ -548,6 +635,18 @@ let write_json ~mode ~jobs rows sp scaling fo path =
         f.retransmissions f.fdropped f.masked
         (if i = List.length fo - 1 then "" else ","))
     fo;
+  p "  ],\n  \"phase_profile\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"path\": \"%s\", \"count\": %d, \"rounds\": %d, \"messages\": \
+         %d, \"bits\": %d, \"max_edge_round_bits\": %d, \"ledger_simulated\": \
+         %d, \"ledger_charged\": %d, \"dropped\": %d, \"retransmissions\": \
+         %d}%s\n"
+        (json_escape r.path) r.span_count r.p_rounds r.p_messages r.p_bits
+        r.p_merb r.p_ledger_sim r.p_ledger_charged r.p_dropped r.p_retrans
+        (if i = List.length profile - 1 then "" else ","))
+    profile;
   p "  ]\n}\n";
   close_out oc;
   Format.printf "@.wrote %s@." path
@@ -564,7 +663,7 @@ let run ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_scaling scaling;
   let fo = fault_overhead () in
   print_fault_overhead fo;
-  write_json ~mode:"micro" ~jobs rows sp scaling fo out
+  write_json ~mode:"micro" ~jobs rows sp scaling fo (phase_profile ()) out
 
 let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   Format.printf "@.=== Simulator smoke benchmarks (CI) ===@.";
@@ -576,4 +675,4 @@ let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_scaling scaling;
   let fo = fault_overhead () in
   print_fault_overhead fo;
-  write_json ~mode:"smoke" ~jobs rows sp scaling fo out
+  write_json ~mode:"smoke" ~jobs rows sp scaling fo (phase_profile ()) out

@@ -61,3 +61,24 @@ if ! diff -u "$scratch/bench_j1.flat" "$scratch/bench_j2.flat"; then
   exit 1
 fi
 echo "ci: smoke bench is jobs-invariant"
+
+# Trace smoke: a small solve with --trace must emit Chrome trace_event JSON
+# that parses and contains complete ("ph": "X") spans covering at least 4
+# distinct algorithm phases (the telemetry acceptance bar).  Skipped when
+# no python3 is around to parse JSON (dev machines still get the write).
+with_timeout 300 dune exec bin/dsf_cli.exe -- solve --algo det --nodes 24 \
+  --terminals 6 --components 2 --seed 3 \
+  --trace "$scratch/trace.json" --trace-format chrome > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$scratch/trace.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+spans = [e for e in d["traceEvents"] if e.get("ph") == "X"]
+assert spans, "chrome trace has no complete spans"
+phases = {e["name"] for e in spans}
+assert len(phases) >= 4, "expected >= 4 distinct phases, got %r" % phases
+print("ci: chrome trace ok (%d spans, %d phases)" % (len(spans), len(phases)))
+EOF
+else
+  echo "ci: python3 not found; skipping trace JSON validation" >&2
+fi

@@ -43,7 +43,32 @@ let load_or_generate file topology rng n t k max_w =
       let labels = Gen.spread_labels rng g ~t ~k in
       Instance.make_ic g labels
 
-let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs =
+(* --trace plumbing: parse the format up front (so a typo fails before the
+   solve, not after), collect into a fresh per-invocation telemetry, write
+   the chosen rendering at the end. *)
+let trace_sink trace trace_format =
+  match trace with
+  | None -> None
+  | Some path -> begin
+      match Dsf_congest.Telemetry.sink_format_of_string trace_format with
+      | Ok format -> Some (Dsf_congest.Telemetry.create (), format, path)
+      | Error msg -> invalid_arg msg
+    end
+
+let telemetry_of_sink = function
+  | None -> None
+  | Some (tel, _, _) -> Some tel
+
+let write_trace = function
+  | None -> ()
+  | Some (tel, format, path) ->
+      Dsf_congest.Telemetry.write_file tel ~format path;
+      if path <> "-" then Format.printf "wrote trace to %s@." path
+
+let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
+    trace trace_format =
+  let sink = trace_sink trace trace_format in
+  let telemetry = telemetry_of_sink sink in
   let rng = Dsf_util.Rng.create seed in
   let inst = load_or_generate file topology rng n t k max_w in
   let g = inst.Instance.graph in
@@ -55,25 +80,32 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs =
   let weight, solution, ledger =
     match algo with
     | "det" ->
-        let r = Dsf_core.Det_dsf.run inst in
+        let r = Dsf_core.Det_dsf.run ?telemetry inst in
         r.Dsf_core.Det_dsf.weight, r.Dsf_core.Det_dsf.solution, Some r.Dsf_core.Det_dsf.ledger
     | "sublinear" ->
-        let r = Dsf_core.Det_sublinear.run ~eps_num:1 ~eps_den inst in
+        let r = Dsf_core.Det_sublinear.run ?telemetry ~eps_num:1 ~eps_den inst in
         ( r.Dsf_core.Det_sublinear.weight,
           r.Dsf_core.Det_sublinear.solution,
           Some r.Dsf_core.Det_sublinear.ledger )
     | "rand" ->
         let r =
-          Dsf_core.Rand_dsf.run ~jobs ~rng:(Dsf_util.Rng.split rng 1) inst
+          Dsf_core.Rand_dsf.run ?telemetry ~jobs
+            ~rng:(Dsf_util.Rng.split rng 1) inst
         in
         r.Dsf_core.Rand_dsf.weight, r.Dsf_core.Rand_dsf.solution, Some r.Dsf_core.Rand_dsf.ledger
     | "khan" ->
-        let r = Dsf_baseline.Khan_etal.run ~rng:(Dsf_util.Rng.split rng 1) inst in
+        let r =
+          Dsf_congest.Telemetry.span_opt telemetry "khan_baseline" (fun () ->
+              Dsf_baseline.Khan_etal.run ~rng:(Dsf_util.Rng.split rng 1) inst)
+        in
         ( r.Dsf_baseline.Khan_etal.weight,
           r.Dsf_baseline.Khan_etal.solution,
           Some r.Dsf_baseline.Khan_etal.ledger )
     | "moat" ->
-        let r = Dsf_core.Moat.run inst in
+        let r =
+          Dsf_congest.Telemetry.span_opt telemetry "centralized_moat"
+            (fun () -> Dsf_core.Moat.run inst)
+        in
         r.Dsf_core.Moat.weight, r.Dsf_core.Moat.solution, None
     | other -> invalid_arg ("unknown algorithm: " ^ other)
   in
@@ -101,15 +133,18 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs =
       (fun (e : Graph.edge) -> Format.printf "  %d-%d (w=%d)@." e.u e.v e.w)
       (Graph.edge_list_of_set g solution)
   end;
-  match dot_out with
+  (match dot_out with
   | Some path ->
       Dsf_graph.Dot.to_file path
         (fun ppf () -> Dsf_graph.Dot.instance ~solution ppf inst)
         ();
       Format.printf "wrote %s@." path
-  | None -> ()
+  | None -> ());
+  write_trace sink
 
-let compare_cmd topology n t k max_w seed file jobs =
+let compare_cmd topology n t k max_w seed file jobs trace trace_format =
+  let sink = trace_sink trace trace_format in
+  let telemetry = telemetry_of_sink sink in
   let rng = Dsf_util.Rng.create seed in
   let inst = load_or_generate file topology rng n t k max_w in
   let g = inst.Instance.graph in
@@ -123,7 +158,8 @@ let compare_cmd topology n t k max_w seed file jobs =
       Format.printf "%-34s %8d %10d %10d %10b@." r.Dsf_core.Solver.algorithm
         r.Dsf_core.Solver.weight r.Dsf_core.Solver.rounds_simulated
         r.Dsf_core.Solver.rounds_charged r.Dsf_core.Solver.feasible)
-    (Dsf_core.Solver.compare_all ~jobs inst)
+    (Dsf_core.Solver.compare_all ~jobs ?telemetry inst);
+  write_trace sink
 
 let verify_cmd inst_file sol_file dual =
   match Dsf_graph.Io.parse_file inst_file with
@@ -223,6 +259,20 @@ let file_arg =
     & opt (some string) None
     & info [ "file" ] ~doc:"read the instance from a file (Io format) instead of generating")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"write a telemetry trace (span tree + engine metrics) to this file; '-' = stdout")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt string "chrome"
+    & info [ "trace-format" ]
+        ~doc:"trace rendering: console | jsonl | chrome (Perfetto-loadable trace_event JSON)")
+
 let jobs_arg =
   Arg.(
     value
@@ -245,12 +295,13 @@ let solve_term =
   in
   Term.(
     const solve_cmd $ algo $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
-    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg)
+    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg $ trace_arg
+    $ trace_format_arg)
 
 let compare_term =
   Term.(
     const compare_cmd $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
-    $ seed_arg $ file_arg $ jobs_arg)
+    $ seed_arg $ file_arg $ jobs_arg $ trace_arg $ trace_format_arg)
 
 let params_term = Term.(const params_cmd $ topology_arg $ nodes_arg $ maxw_arg $ seed_arg)
 

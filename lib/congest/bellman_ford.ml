@@ -94,10 +94,13 @@ let protocol ?weight_of ?radius g ~sources =
   in
   proto
 
-let run ?weight_of ?radius ?max_rounds ?observer g ~sources =
+let run ?weight_of ?radius ?max_rounds ?observer ?telemetry g ~sources =
   let n = Graph.n g in
   let proto = protocol ?weight_of ?radius g ~sources in
-  let states, stats = Sim.run ?max_rounds ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "bellman_ford" (fun () ->
+        Sim.run ?max_rounds ?observer ?telemetry g proto)
+  in
   let dist = Array.make n max_int in
   let src_of = Array.make n (-1) in
   let parent = Array.make n (-1) in
@@ -113,4 +116,5 @@ let run ?weight_of ?radius ?max_rounds ?observer g ~sources =
     states;
   { dist; src_of; parent; hops; rounds = stats.Sim.rounds }, stats
 
-let sssp ?observer g ~src = run ?observer g ~sources:[ src, 0 ]
+let sssp ?observer ?telemetry g ~src =
+  run ?observer ?telemetry g ~sources:[ src, 0 ]

@@ -38,6 +38,7 @@ val run :
   ?radius:int ->
   ?max_rounds:int ->
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   sources:(int * int) list ->
   result * Sim.stats
@@ -45,7 +46,12 @@ val run :
     [weight_of eid] overrides the weight of edge [eid] (must be >= 0; zero
     weights model edges inside contracted moats).  [radius r] discards any
     path of distance > [r].  Ties are broken towards the smaller source id,
-    then the smaller parent id. *)
+    then the smaller parent id.  [telemetry] profiles the run under a
+    ["bellman_ford"] span. *)
 
 val sssp :
-  ?observer:Sim.observer -> Dsf_graph.Graph.t -> src:int -> result * Sim.stats
+  ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
+  Dsf_graph.Graph.t ->
+  src:int ->
+  result * Sim.stats

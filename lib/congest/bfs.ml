@@ -55,13 +55,16 @@ let protocol ~root : (state, msg) Sim.protocol =
       wake = Some Sim.never;
   }
 
-let build ?observer g ~root =
+let build ?observer ?telemetry g ~root =
   let n = Graph.n g in
   (* Precondition check: on a disconnected graph the flood never reaches
      everyone and the simulation would spin to its round limit. *)
   if not (Graph.is_connected g) then
     invalid_arg "Bfs.build: disconnected graph";
-  let states, stats = Sim.run ?observer g (protocol ~root) in
+  let states, stats =
+    Telemetry.span_opt telemetry "bfs" (fun () ->
+        Sim.run ?observer ?telemetry g (protocol ~root))
+  in
   let parent = Array.make n (-1) in
   let depth = Array.make n 0 in
   Array.iteri

@@ -21,9 +21,14 @@ val protocol : root:int -> (state, msg) Sim.protocol
     arrives. *)
 
 val build :
-  ?observer:Sim.observer -> Dsf_graph.Graph.t -> root:int -> tree * Sim.stats
+  ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
+  Dsf_graph.Graph.t ->
+  root:int ->
+  tree * Sim.stats
 (** Raises [Invalid_argument] if the graph is disconnected.  [observer]
-    taps this run's messages (per-run, domain-safe). *)
+    taps this run's messages (per-run, domain-safe); [telemetry] profiles
+    the flood under a ["bfs"] span. *)
 
 val max_id_root : Dsf_graph.Graph.t -> int
 (** The conventional root choice of the paper's appendix: the node with the

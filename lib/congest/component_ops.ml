@@ -2,7 +2,7 @@ module Graph = Dsf_graph.Graph
 
 type 'a state = { best : 'a option; dirty : bool }
 
-let gossip_extremum ?observer g ~mask ~values ~better ~bits =
+let gossip_extremum ?observer ?telemetry g ~mask ~values ~better ~bits =
   let proto : ('a state, 'a) Sim.protocol =
     {
       init =
@@ -34,12 +34,15 @@ let gossip_extremum ?observer g ~mask ~values ~better ~bits =
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "gossip_extremum" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   Array.map (fun st -> st.best) states, stats
 
-let leaders ?observer g ~mask =
+let leaders ?observer ?telemetry g ~mask =
   let results, stats =
-    gossip_extremum ?observer g ~mask
+    gossip_extremum ?observer ?telemetry g ~mask
       ~values:(fun v -> Some v)
       ~better:(fun a b -> a > b)
       ~bits:(fun _ -> Dsf_util.Bitsize.id_bits ~n:(Graph.n g))
@@ -49,5 +52,6 @@ let leaders ?observer g ~mask =
       results,
     stats )
 
-let component_min_item ?observer g ~mask ~values ~cmp ~bits =
-  gossip_extremum ?observer g ~mask ~values ~better:(fun a b -> cmp a b < 0) ~bits
+let component_min_item ?observer ?telemetry g ~mask ~values ~cmp ~bits =
+  gossip_extremum ?observer ?telemetry g ~mask ~values
+    ~better:(fun a b -> cmp a b < 0) ~bits

@@ -9,6 +9,7 @@
 
 val gossip_extremum :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   mask:bool array ->
   values:(int -> 'a option) ->
@@ -21,6 +22,7 @@ val gossip_extremum :
 
 val leaders :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   mask:bool array ->
   int array * Sim.stats
@@ -29,6 +31,7 @@ val leaders :
 
 val component_min_item :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   mask:bool array ->
   values:(int -> 'a option) ->

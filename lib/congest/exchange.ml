@@ -15,6 +15,9 @@ let protocol ~payload_bits : (bool, unit) Sim.protocol =
     wake = Some Sim.never;
   }
 
-let all_neighbors ?observer ?faults g ~payload_bits =
-  let _, stats = Sim.run ?observer ?faults g (protocol ~payload_bits) in
+let all_neighbors ?observer ?faults ?telemetry g ~payload_bits =
+  let _, stats =
+    Telemetry.span_opt telemetry "neighbor_exchange" (fun () ->
+        Sim.run ?observer ?faults ?telemetry g (protocol ~payload_bits))
+  in
   stats

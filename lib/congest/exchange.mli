@@ -12,10 +12,12 @@ val protocol : payload_bits:int -> (bool, unit) Sim.protocol
 val all_neighbors :
   ?observer:Sim.observer ->
   ?faults:Sim.faults ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   payload_bits:int ->
   Sim.stats
 (** Simulates the exchange; [payload_bits] is the per-message size (for a
     region announcement: owner id + offset + activity bit).  [observer]
     taps the run per-run (domain-safe); [faults] injects a fault plan
-    (see {!Fault}). *)
+    (see {!Fault}); [telemetry] profiles the run under a
+    ["neighbor_exchange"] span. *)

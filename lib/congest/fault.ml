@@ -303,9 +303,13 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
     wake = None;
   }
 
-let run_hardened ?max_rounds ?rto ?rto_cap ?observer ?(plan = empty) g proto =
+let run_hardened ?max_rounds ?rto ?rto_cap ?observer ?telemetry
+    ?(plan = empty) g proto =
   let faults = if is_empty plan then None else Some (instantiate plan) in
   let hardened = harden ?rto ?rto_cap ?faults proto in
   let halt = quiescent proto in
-  let states, stats = Sim.run ?max_rounds ~halt ?observer ?faults g hardened in
+  let states, stats =
+    Telemetry.span_opt telemetry "hardened" (fun () ->
+        Sim.run ?max_rounds ~halt ?observer ?faults ?telemetry g hardened)
+  in
   Array.map (fun st -> st.inner) states, stats

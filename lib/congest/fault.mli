@@ -129,6 +129,7 @@ val run_hardened :
   ?rto:int ->
   ?rto_cap:int ->
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   ?plan:plan ->
   Dsf_graph.Graph.t ->
   ('s, 'm) Sim.protocol ->
@@ -137,4 +138,5 @@ val run_hardened :
     the protocol, run it under the faults with the {!quiescent} halt, and
     unwrap the inner final states.  The stats are the {e hardened} run's
     (packet traffic, drops, retransmissions); compare with the lossless
-    run's stats to measure the overhead. *)
+    run's stats to measure the overhead.  [telemetry] profiles the run —
+    fault counters included — under a ["hardened"] span. *)

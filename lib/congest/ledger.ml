@@ -1,12 +1,19 @@
 type kind = Simulated | Charged
 
-type t = { mutable entries : (kind * string * int) list (* reversed *) }
+type t = {
+  mutable entries : (kind * string * int) list; (* reversed *)
+  mutable hook : (kind -> string -> int -> unit) option;
+      (* telemetry tap; see set_hook *)
+}
 
-let create () = { entries = [] }
+let create () = { entries = []; hook = None }
+
+let set_hook t h = t.hook <- h
 
 let add t kind label rounds =
   assert (rounds >= 0);
-  t.entries <- (kind, label, rounds) :: t.entries
+  t.entries <- (kind, label, rounds) :: t.entries;
+  match t.hook with Some f -> f kind label rounds | None -> ()
 
 let sum_kind t k =
   List.fold_left
@@ -19,8 +26,13 @@ let total t = simulated t + charged t
 
 let entries t = List.rev t.entries
 
+(* Raw append, bypassing [dst]'s hook: the merged entries were already
+   attributed (to the source ledger's own telemetry) when first added;
+   re-firing the hook here would double-count them in the destination's
+   span tree.  Telemetry merges travel separately via
+   [Telemetry.merge_into]. *)
 let merge_into ~dst t =
-  List.iter (fun (k, l, r) -> add dst k l r) (entries t)
+  List.iter (fun e -> dst.entries <- e :: dst.entries) (entries t)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>total=%d (simulated=%d charged=%d)@," (total t)

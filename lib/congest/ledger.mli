@@ -12,6 +12,15 @@ type t
 
 val create : unit -> t
 val add : t -> kind -> string -> int -> unit
+
+val set_hook : t -> (kind -> string -> int -> unit) option -> unit
+(** Install (or clear) a tap fired on every subsequent {!add} with the
+    entry just recorded.  Used by {!Telemetry.attach_ledger} to land each
+    charged/simulated entry in the enclosing profiling span.
+    {!merge_into} bypasses the destination's hook: merged entries were
+    already attributed when first added to their source ledger (the
+    telemetry side merges separately), so re-firing would double-count. *)
+
 val simulated : t -> int
 val charged : t -> int
 val total : t -> int

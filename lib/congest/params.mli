@@ -5,16 +5,24 @@
 
     All routines genuinely simulate; round counts come from the runs. *)
 
-val count_nodes : ?observer:Sim.observer -> Dsf_graph.Graph.t -> int * int
+val count_nodes :
+  ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
+  Dsf_graph.Graph.t ->
+  int * int
 (** [n] by BFS-tree convergecast; returns (n, simulated rounds). *)
 
 val diameter_upper_bound :
-  ?observer:Sim.observer -> Dsf_graph.Graph.t -> int * int
+  ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
+  Dsf_graph.Graph.t ->
+  int * int
 (** 2-approximation of D: twice the BFS eccentricity of the max-id root;
     returns (bound, simulated rounds). *)
 
 val estimate_s :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   cap:int ->
   Dsf_graph.Graph.t ->
   [ `Stabilized of int | `Exceeded ] * int
@@ -27,6 +35,7 @@ val estimate_s :
 
 val regime :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   [ `Small_s of int | `Large_s ] * int
 (** The Section 5 regime test: [`Small_s s] iff s stabilized within

@@ -30,8 +30,8 @@ type 'k state = {
   sent_done : bool;
 }
 
-let filtered_upcast ?observer ?stop_at_root g ~(tree : Bfs.tree) ~vn ~pre
-    ~items ~cmp ~bits =
+let filtered_upcast ?observer ?telemetry ?stop_at_root g ~(tree : Bfs.tree)
+    ~vn ~pre ~items ~cmp ~bits =
   let icmp = item_cmp cmp in
   let proto : ('k state, 'k msg) Sim.protocol =
     {
@@ -155,5 +155,8 @@ let filtered_upcast ?observer ?stop_at_root g ~(tree : Bfs.tree) ~vn ~pre
       (fun pred states -> pred (List.rev states.(tree.root).accepted))
       stop_at_root
   in
-  let states, stats = Sim.run ?halt ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "filtered_upcast" (fun () ->
+        Sim.run ?halt ?observer ?telemetry g proto)
+  in
   List.rev states.(tree.root).accepted, stats

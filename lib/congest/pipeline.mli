@@ -19,6 +19,7 @@ type 'k item = { key : 'k; a : int; b : int }
 
 val filtered_upcast :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   ?stop_at_root:('k item list -> bool) ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
@@ -37,7 +38,8 @@ val filtered_upcast :
     each acceptance; when it returns [true] the collection is aborted — the
     Corollary 4.16 early stop, where the root detects that a merge changes
     some terminal's activity status.  The caller should charge an extra
-    O(D) stop-broadcast to its ledger. *)
+    O(D) stop-broadcast to its ledger.  [telemetry] profiles the run under
+    a ["filtered_upcast"] span. *)
 
 val select_forest :
   vn:int -> pre:(int * int) list -> cmp:('k -> 'k -> int) ->

@@ -173,6 +173,19 @@ let ring_dump ring =
 let abort_run ~round ~snapshot ring =
   raise (Round_limit { at_round = round; snapshot; recent = ring_dump ring })
 
+(* Credit a finished (or aborting) run's stats to the enclosing telemetry
+   span.  Called exactly once per run, on both the normal and the
+   Round_limit exit, so span round/bit totals match the stats the caller
+   sees (or would have seen) either way. *)
+let tel_finish tel (s : stats) =
+  match tel with
+  | None -> ()
+  | Some t ->
+      Telemetry.sim_run t ~rounds:s.rounds ~messages:s.messages
+        ~bits:s.total_bits ~max_edge_round_bits:s.max_edge_round_bits
+        ~budget_violations:s.budget_violations ~dropped:s.dropped
+        ~duplicated:s.duplicated ~retransmissions:s.retransmissions
+
 (* The seed simulator's loop, kept verbatim as the semantic anchor for the
    differential test suite (test_sim_equiv): every node is stepped every
    round ([wake] is ignored), per-round accounting goes through a fresh
@@ -180,7 +193,7 @@ let abort_run ~round ~snapshot ring =
    from the seed are the slot-based recipient validation and the always-on
    post-mortem traffic ring.  Fault injection is an active-engine feature;
    this loop never sees a [faults] record. *)
-let run_reference ?max_rounds ?halt ?observer:per_run g proto =
+let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto =
   let obs = effective_observer per_run in
   let n = Graph.n g in
   let max_rounds =
@@ -214,15 +227,21 @@ let run_reference ?max_rounds ?halt ?observer:per_run g proto =
     }
   in
   while not !quiescent do
-    if !round >= max_rounds then
-      abort_run ~round:!round ~snapshot:(current_stats ()) ring;
+    if !round >= max_rounds then begin
+      let snapshot = current_stats () in
+      tel_finish telemetry snapshot;
+      abort_run ~round:!round ~snapshot ring
+    end;
     ring_begin_round ring ~round:!round;
     (* bits sent this round per (sender, neighbor-slot); keyed by sender and
        destination since each unordered edge has two directions. *)
     let edge_bits = Hashtbl.create 64 in
     let sent_any = ref false in
+    let bits0 = !total_bits in
+    let delivered = ref 0 in
     for v = 0 to n - 1 do
       let inbox = List.rev inboxes.(v) in
+      delivered := !delivered + List.length inbox;
       inboxes.(v) <- [];
       let state', outbox = proto.step views.(v) ~round:!round states.(v) ~inbox in
       states.(v) <- state';
@@ -253,13 +272,22 @@ let run_reference ?max_rounds ?halt ?observer:per_run g proto =
       inboxes.(v) <- next_inboxes.(v);
       next_inboxes.(v) <- []
     done;
+    (* The one telemetry branch per round; the seed loop steps every node,
+       so the active set is all of [n] and wake hooks never fire. *)
+    (match telemetry with
+    | Some t ->
+        Telemetry.sim_round t ~stepped:n ~delivered:!delivered
+          ~bits:(!total_bits - bits0) ~wake_hits:0
+    | None -> ());
     incr round;
     let all_done = Array.for_all proto.is_done states in
     let inflight = Array.exists (fun l -> l <> []) inboxes in
     let halted = match halt with Some f -> f states | None -> false in
     quiescent := halted || (all_done && (not inflight) && not !sent_any)
   done;
-  states, current_stats ()
+  let final = current_stats () in
+  tel_finish telemetry final;
+  states, final
 
 (* Deprecated global shim, same contract as [observer] above: the
    per-run [?reference] parameter is the domain-safe way to pick the
@@ -291,7 +319,8 @@ let use_reference_engine = ref false [@@lint.allow "global-state"]
    in flight, [Replicate k] delivers [k] copies; a [down] node is not
    stepped and mail arriving at it is destroyed (counted as dropped); on
    the first round a node is back up, its state is reset to [init]. *)
-let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
+let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry g
+    proto =
   let reference =
     match reference with Some b -> b | None -> !use_reference_engine
   in
@@ -299,7 +328,7 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
     (match faults with
     | Some _ -> invalid_arg "Sim.run: ?faults requires the active engine"
     | None -> ());
-    run_reference ?max_rounds ?halt ?observer:per_run g proto
+    run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto
   end
   else begin
     let obs = effective_observer per_run in
@@ -350,12 +379,23 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
     (* Crash bookkeeping, allocated only when a faults record is present. *)
     let down_now = match faults with Some _ -> Array.make n false | None -> [||] in
     let was_down = match faults with Some _ -> Array.make n false | None -> [||] in
+    let wake_is_some = Option.is_some proto.wake in
     while not !quiescent do
-      if !round >= max_rounds then
-        abort_run ~round:!round ~snapshot:(current_stats ()) ring;
+      if !round >= max_rounds then begin
+        let snapshot = current_stats () in
+        tel_finish telemetry snapshot;
+        abort_run ~round:!round ~snapshot ring
+      end;
       ring_begin_round ring ~round:!round;
       let inboxes = !cur and outboxes = !nxt in
       let sent_any = ref false in
+      (* Round-level series for the telemetry hook.  Maintained as plain
+         branch-free adds so that with [?telemetry:None] the engine pays
+         exactly one extra branch per round (the [match] below). *)
+      let bits0 = !total_bits in
+      let stepped = ref 0 in
+      let delivered = ref 0 in
+      let wake_hits = ref 0 in
       (match faults with
       | None -> ()
       | Some f ->
@@ -383,9 +423,10 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
           done);
       for v = 0 to n - 1 do
         let crashed = match faults with Some _ -> down_now.(v) | None -> false in
+        let has_mail = inboxes.(v).len > 0 in
         let active =
           (not crashed)
-          && (inboxes.(v).len > 0
+          && (has_mail
              || (not done_flag.(v))
              ||
              match proto.wake with
@@ -393,6 +434,12 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
              | Some f -> f views.(v) ~round:!round states.(v))
         in
         if active then begin
+          (* An active node that had no mail and reported done can only have
+             been stepped because its wake hook fired. *)
+          if wake_is_some && (not has_mail) && done_flag.(v) then
+            incr wake_hits;
+          incr stepped;
+          delivered := !delivered + inboxes.(v).len;
           let inbox = buf_drain inboxes.(v) in
           let state', outbox =
             proto.step views.(v) ~round:!round states.(v) ~inbox
@@ -449,11 +496,18 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults g proto =
          deliveries and this round's arrays for reuse. *)
       cur := outboxes;
       nxt := inboxes;
+      (match telemetry with
+      | Some t ->
+          Telemetry.sim_round t ~stepped:!stepped ~delivered:!delivered
+            ~bits:(!total_bits - bits0) ~wake_hits:!wake_hits
+      | None -> ());
       incr round;
       let halted = match halt with Some f -> f states | None -> false in
       quiescent := halted || ((!done_count = n) && not !sent_any)
     done;
-    states, current_stats ()
+    let final = current_stats () in
+    tel_finish telemetry final;
+    states, final
   end
 
 let pp_stats ppf s =
@@ -465,15 +519,20 @@ let pp_stats ppf s =
       s.duplicated s.retransmissions
 
 let pp_abort ppf a =
-  Format.fprintf ppf
-    "@[<v>no quiescence after %d rounds (%a)@,last %d rounds of traffic:@,"
-    a.at_round pp_stats a.snapshot
-    (List.length a.recent);
+  Format.fprintf ppf "@[<v>no quiescence after %d rounds (%a)@," a.at_round
+    pp_stats a.snapshot;
+  if a.snapshot.budget_violations > 0 then
+    Format.fprintf ppf
+      "budget breached %d time(s); worst edge-round carried %d bits@,"
+      a.snapshot.budget_violations a.snapshot.max_edge_round_bits;
+  Format.fprintf ppf "last %d rounds of traffic:@," (List.length a.recent);
   List.iter
     (fun (r, msgs) ->
       let per_node = Hashtbl.create 8 in
+      let round_bits = ref 0 in
       List.iter
         (fun (src, _, bits) ->
+          round_bits := !round_bits + bits;
           let c, b =
             Option.value ~default:(0, 0) (Hashtbl.find_opt per_node src)
           in
@@ -483,8 +542,8 @@ let pp_abort ppf a =
         Hashtbl.fold (fun v cb acc -> (v, cb) :: acc) per_node []
         |> List.sort compare
       in
-      Format.fprintf ppf "  round %d: %d msgs from %d nodes" r
-        (List.length msgs) (List.length senders);
+      Format.fprintf ppf "  round %d: %d msgs/%d bits from %d nodes" r
+        (List.length msgs) !round_bits (List.length senders);
       List.iteri
         (fun i (v, (c, b)) ->
           if i < 6 then Format.fprintf ppf " [%d: %d msg/%d bits]" v c b)

@@ -176,6 +176,7 @@ val run :
   ?observer:observer ->
   ?reference:bool ->
   ?faults:faults ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
@@ -198,12 +199,22 @@ val run :
     [observer] taps this run's messages (in addition to the global shim,
     which fires first when both are set).  [reference] selects the engine
     for this run only: [true] delegates to {!run_reference}; it defaults
-    to the {!use_reference_engine} shim (normally [false]). *)
+    to the {!use_reference_engine} shim (normally [false]).
+
+    [telemetry] attributes the run to the enclosing {!Telemetry} span
+    (final stats via [Telemetry.sim_run], including on a {!Round_limit}
+    abort) and streams the round-level series — active-set size, messages
+    delivered, bits this round, wake-hook hits — into its metrics
+    registry via [Telemetry.sim_round].  Purely observational: with
+    [?telemetry] absent the engine pays a single extra branch per round
+    and runs bit-identically to before (the differential suite checks
+    this). *)
 
 val run_reference :
   ?max_rounds:int ->
   ?halt:('s array -> bool) ->
   ?observer:observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats

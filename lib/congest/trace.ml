@@ -27,9 +27,14 @@ let messages t = t.messages
 let bits t = t.bits
 let edge_bits t = t.per_edge
 
+(* Descending bits, ties broken by ascending (src, dst): hash-fold order
+   must never leak into the ranking, or two runs of the same trace render
+   different "hottest" lists. *)
 let hottest_edges t n =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_edge []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (ka, a) (kb, b) ->
+         let c = compare b a in
+         if c <> 0 then c else compare ka kb)
   |> List.filteri (fun i _ -> i < n)
 
 let bits_between t ~src ~dst =
@@ -60,7 +65,11 @@ let pp_postmortem ppf (a : Sim.abort) =
     a.Sim.recent;
   let ranked =
     Hashtbl.fold (fun node count acc -> (node, count) :: acc) talkers []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.sort (fun (na, a) (nb, b) ->
+           (* Descending count, ascending node id on ties — deterministic
+              regardless of hash-fold order. *)
+           let c = compare b a in
+           if c <> 0 then c else compare na nb)
   in
   (match ranked with
   | [] -> Format.fprintf ppf "no traffic in the last %d rounds@."

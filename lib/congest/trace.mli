@@ -35,7 +35,8 @@ val edge_bits : t -> (int * int, int) Hashtbl.t
 (** Directed (src, dst) -> total bits. *)
 
 val hottest_edges : t -> int -> ((int * int) * int) list
-(** The [n] directed edges carrying the most bits, descending. *)
+(** The [n] directed edges carrying the most bits, descending; ties
+    break on ascending (src, dst) so the ranking is deterministic. *)
 
 val bits_between : t -> src:int -> dst:int -> int
 (** Bits sent from [src] to [dst] (one direction). *)

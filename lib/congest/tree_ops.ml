@@ -3,7 +3,7 @@ type 'a up_state = {
   received : 'a list;  (** root only: arrival order, reversed *)
 }
 
-let upcast ?observer g ~(tree : Bfs.tree) ~items ~bits =
+let upcast ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
   let proto : ('a up_state, 'a) Sim.protocol =
     {
       init =
@@ -31,7 +31,10 @@ let upcast ?observer g ~(tree : Bfs.tree) ~items ~bits =
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "upcast" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   let root_state = states.(tree.root) in
   List.rev root_state.received, stats
 
@@ -41,7 +44,8 @@ type ('a, 'b) dedup_state = {
   d_received : 'a list;
 }
 
-let upcast_dedup ?observer ?(per_key = 1) g ~(tree : Bfs.tree) ~items ~key ~bits =
+let upcast_dedup ?observer ?telemetry ?(per_key = 1) g ~(tree : Bfs.tree) ~items
+    ~key ~bits =
   (* Keep an item iff its key has fewer than [per_key] distinct items so
      far and the item itself is new. *)
   let admit seen it k =
@@ -85,7 +89,10 @@ let upcast_dedup ?observer ?(per_key = 1) g ~(tree : Bfs.tree) ~items ~key ~bits
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "upcast_dedup" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   let root_state = states.(tree.root) in
   List.rev root_state.d_received, stats
 
@@ -98,7 +105,7 @@ type 'a seq_state = {
   s_received : 'a list;  (** root only, reversed *)
 }
 
-let upcast_sequential ?observer g ~(tree : Bfs.tree) ~items ~bits =
+let upcast_sequential ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
   (* Precompute the departure schedule. *)
   let schedule = Hashtbl.create 16 in
   let clock = ref 0 in
@@ -149,7 +156,10 @@ let upcast_sequential ?observer g ~(tree : Bfs.tree) ~items ~bits =
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "upcast_sequential" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   List.rev states.(tree.root).s_received, stats
 
 type 'a down_state = {
@@ -157,7 +167,7 @@ type 'a down_state = {
   got : 'a list;  (** all items seen, reversed *)
 }
 
-let broadcast ?observer g ~(tree : Bfs.tree) ~items ~bits =
+let broadcast ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
   let proto : ('a down_state, 'a) Sim.protocol =
     {
       init =
@@ -187,7 +197,10 @@ let broadcast ?observer g ~(tree : Bfs.tree) ~items ~bits =
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "broadcast" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   Array.map (fun st -> List.rev st.got) states, stats
 
 type 'a agg_state = {
@@ -196,7 +209,7 @@ type 'a agg_state = {
   sent : bool;
 }
 
-let aggregate ?observer g ~(tree : Bfs.tree) ~value ~combine ~bits =
+let aggregate ?observer ?telemetry g ~(tree : Bfs.tree) ~value ~combine ~bits =
   let proto : ('a agg_state, 'a) Sim.protocol =
     {
       init =
@@ -230,11 +243,14 @@ let aggregate ?observer g ~(tree : Bfs.tree) ~value ~combine ~bits =
       wake = Some (fun _ ~round _ -> round = 0);
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Telemetry.span_opt telemetry "aggregate" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   states.(tree.root).acc, stats
 
-let count_nodes ?observer g ~tree =
-  aggregate ?observer g ~tree
+let count_nodes ?observer ?telemetry g ~tree =
+  aggregate ?observer ?telemetry g ~tree
     ~value:(fun _ -> 1)
     ~combine:( + )
     ~bits:(fun x -> Dsf_util.Bitsize.int_bits (max 1 x))

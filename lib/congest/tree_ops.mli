@@ -6,10 +6,15 @@
 
     All functions genuinely simulate message passing round by round; one item
     crosses one edge per round, so the round counts exhibit the pipelining
-    the paper's analysis relies on. *)
+    the paper's analysis relies on.
+
+    Every operation takes an optional [?telemetry]: the run is profiled
+    under a span named after the primitive ([upcast], [broadcast],
+    [aggregate], ...) nested in the caller's current span. *)
 
 val upcast :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -21,6 +26,7 @@ val upcast :
 
 val upcast_dedup :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   ?per_key:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
@@ -36,6 +42,7 @@ val upcast_dedup :
 
 val upcast_sequential :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -49,6 +56,7 @@ val upcast_sequential :
 
 val broadcast :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:'a list ->
@@ -59,6 +67,7 @@ val broadcast :
 
 val aggregate :
   ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   value:(int -> 'a) ->
@@ -69,6 +78,10 @@ val aggregate :
     result over all nodes lands at the root.  Rounds ~ height. *)
 
 val count_nodes :
-  ?observer:Sim.observer -> Dsf_graph.Graph.t -> tree:Bfs.tree -> int * Sim.stats
+  ?observer:Sim.observer ->
+  ?telemetry:Telemetry.t ->
+  Dsf_graph.Graph.t ->
+  tree:Bfs.tree ->
+  int * Sim.stats
 (** Convergecast count of all nodes ([n] as computed in the paper's
     footnote 2). *)

@@ -39,9 +39,15 @@ type result = {
 }
 
 val run :
-  ?observer:Dsf_congest.Sim.observer -> Dsf_graph.Instance.ic -> result
+  ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
+  Dsf_graph.Instance.ic ->
+  result
 (** Requires a connected graph.  Singleton components are dropped
     (Lemma 2.4; the O(D + k) transform is charged to the ledger).
     [observer] taps every message of every simulated subroutine —
     per-run and domain-safe, the replacement for wrapping the call in
-    {!Dsf_congest.Sim.with_observer}. *)
+    {!Dsf_congest.Sim.with_observer}.  [telemetry] profiles the run as a
+    span tree ([minimalize] / [setup] / [phase] / [final], with the
+    simulated primitives nested beneath) and attaches the ledger so every
+    charged entry lands in its enclosing span. *)

@@ -86,15 +86,19 @@ let isqrt = Dsf_util.Intmath.isqrt
 
 let ceil_log2 = Dsf_util.Intmath.ceil_log2
 
-let run ~eps_num ~eps_den inst0 =
+let run ?observer ?telemetry ~eps_num ~eps_den inst0 =
   if eps_num <= 0 || eps_den <= 0 || eps_num > eps_den then
     invalid_arg "Det_sublinear.run: need 0 < eps <= 1";
-  let minimalized = Transform.minimalize inst0 in
+  let tspan name f = Dsf_congest.Telemetry.span_opt telemetry name f in
+  let minimalized = Transform.minimalize ?observer ?telemetry inst0 in
   let inst = minimalized.Transform.value in
   let g = inst.Instance.graph in
   let n = Graph.n g in
   let m = Graph.m g in
   let ledger = Ledger.create () in
+  Option.iter
+    (fun t -> Dsf_congest.Telemetry.attach_ledger t ledger)
+    telemetry;
   let terms = Array.of_list (Instance.terminals inst) in
   let t = Array.length terms in
   let scale = ((8 * eps_den) + eps_num - 1) / eps_num in
@@ -120,21 +124,27 @@ let run ~eps_num ~eps_den inst0 =
     in
     let _, _, s = Paths.parameters g in
     let sigma = isqrt (min (s * t) n) in
-    (* The nodes learn n, t and (an estimate of) s by convergecast plus a
-       full Bellman-Ford run (footnote 2's technique), simulated. *)
-    let _, n_rounds = Dsf_congest.Params.count_nodes g in
-    let s_rounds =
-      match Dsf_congest.Params.estimate_s ~cap:(n + 1) g with
-      | `Stabilized _, r | `Exceeded, r -> r
+    let tree =
+      tspan "setup" @@ fun () ->
+      (* The nodes learn n, t and (an estimate of) s by convergecast plus a
+         full Bellman-Ford run (footnote 2's technique), simulated. *)
+      let _, n_rounds = Dsf_congest.Params.count_nodes ?observer ?telemetry g in
+      let s_rounds =
+        match
+          Dsf_congest.Params.estimate_s ?observer ?telemetry ~cap:(n + 1) g
+        with
+        | `Stabilized _, r | `Exceeded, r -> r
+      in
+      Ledger.add ledger Ledger.Simulated "setup: determine s, t, sigma"
+        (n_rounds + s_rounds);
+      let root = Bfs.max_id_root g in
+      let tree, bfs_stats = Bfs.build ?observer ?telemetry g_scaled ~root in
+      Ledger.add ledger Ledger.Simulated "setup: BFS tree" bfs_stats.Sim.rounds;
+      Ledger.add ledger Ledger.Simulated
+        "setup: minimalize + moat-label bookkeeping (Lemma 2.4)"
+        minimalized.Transform.rounds;
+      tree
     in
-    Ledger.add ledger Ledger.Simulated "setup: determine s, t, sigma"
-      (n_rounds + s_rounds);
-    let root = Bfs.max_id_root g in
-    let tree, bfs_stats = Bfs.build g_scaled ~root in
-    Ledger.add ledger Ledger.Simulated "setup: BFS tree" bfs_stats.Sim.rounds;
-    Ledger.add ledger Ledger.Simulated
-      "setup: minimalize + moat-label bookkeeping (Lemma 2.4)"
-      minimalized.Transform.rounds;
     let tindex = Array.make n (-1) in
     Array.iteri (fun i v -> tindex.(v) <- i) terms;
     let labels = Array.map (fun v -> inst.Instance.labels.(v)) terms in
@@ -208,6 +218,7 @@ let run ~eps_num ~eps_den inst0 =
       + 16
     in
     while g_exists_active gs && !growth_phases < max_growth_phases do
+      tspan "growth" @@ fun () ->
       incr growth_phases;
       let gtag label = Printf.sprintf "growth %d: %s" !growth_phases label in
       (* Per-node committed active-active candidates of this growth phase. *)
@@ -216,6 +227,7 @@ let run ~eps_num ~eps_den inst0 =
       let phase_in_growth = ref 0 in
       let continue_3a = ref true in
       while !continue_3a do
+        tspan "merge_phase" @@ fun () ->
         incr merge_phase_count;
         incr phase_in_growth;
         let j = !merge_phase_count in
@@ -233,12 +245,14 @@ let run ~eps_num ~eps_den inst0 =
                  else None))
           |> List.filter_map Fun.id
         in
-        let bf, bf_stats = Region_bf.run g_scaled ~sources ~frozen in
+        let bf, bf_stats =
+          Region_bf.run ?observer ?telemetry g_scaled ~sources ~frozen
+        in
         Ledger.add ledger Ledger.Simulated
           (gtag (Printf.sprintf "phase %d decomposition BF" !phase_in_growth))
           bf_stats.Sim.rounds;
         let ex_stats =
-          Dsf_congest.Exchange.all_neighbors g_scaled
+          Dsf_congest.Exchange.all_neighbors ?observer ?telemetry g_scaled
             ~payload_bits:((2 * Bitsize.id_bits ~n) + 2)
         in
         Ledger.add ledger Ledger.Simulated (gtag "boundary exchange") ex_stats.Sim.rounds;
@@ -297,7 +311,7 @@ let run ~eps_num ~eps_den inst0 =
         done;
         (* Min active-inactive candidate via a simulated convergecast. *)
         let _, agg_stats =
-          Tree_ops.aggregate g_scaled ~tree
+          Tree_ops.aggregate ?observer ?telemetry g_scaled ~tree
             ~value:(fun _ -> 1)
             ~combine:min
             ~bits:(fun _ -> 4 * Bitsize.id_bits ~n)
@@ -305,7 +319,8 @@ let run ~eps_num ~eps_den inst0 =
         Ledger.add ledger Ledger.Simulated (gtag "min-candidate convergecast")
           agg_stats.Sim.rounds;
         let _, mb_stats =
-          Tree_ops.broadcast g_scaled ~tree ~items:[ () ] ~bits:(fun () -> 1)
+          Tree_ops.broadcast ?observer ?telemetry g_scaled ~tree ~items:[ () ]
+            ~bits:(fun () -> 1)
         in
         Ledger.add ledger Ledger.Simulated (gtag "min-candidate broadcast")
           mb_stats.Sim.rounds;
@@ -383,6 +398,7 @@ let run ~eps_num ~eps_den inst0 =
         + (4 * Bitsize.id_bits ~n)
       in
       while !progressing && !iter < max_iters do
+        tspan "small_moats" @@ fun () ->
         incr iter;
         incr small_iterations;
         let is_small = component_small () in
@@ -404,8 +420,8 @@ let run ~eps_num ~eps_den inst0 =
             None store.(u)
         in
         let gossip, gossip_stats =
-          Dsf_congest.Component_ops.component_min_item g_scaled
-            ~mask:(moat_mask ()) ~values:node_min
+          Dsf_congest.Component_ops.component_min_item ?observer ?telemetry
+            g_scaled ~mask:(moat_mask ()) ~values:node_min
             ~cmp:(fun a b -> ckey_cmp a.Pipeline.key b.Pipeline.key)
             ~bits:item_bits
         in
@@ -501,13 +517,14 @@ let run ~eps_num ~eps_den inst0 =
           + (4 * Bitsize.id_bits ~n)
         in
         let selected, pipe_stats =
-          Pipeline.filtered_upcast g_scaled ~tree ~vn:t ~pre:(pre_pairs ())
-            ~items ~cmp:ckey_cmp ~bits
+          Pipeline.filtered_upcast ?observer ?telemetry g_scaled ~tree ~vn:t
+            ~pre:(pre_pairs ()) ~items ~cmp:ckey_cmp ~bits
         in
         Ledger.add ledger Ledger.Simulated (gtag "pipelined merge filter")
           pipe_stats.Sim.rounds;
         let _, mb2_stats =
-          Tree_ops.broadcast g_scaled ~tree ~items:selected ~bits
+          Tree_ops.broadcast ?observer ?telemetry g_scaled ~tree ~items:selected
+            ~bits
         in
         Ledger.add ledger Ledger.Simulated (gtag "merge broadcast")
           mb2_stats.Sim.rounds;
@@ -522,6 +539,7 @@ let run ~eps_num ~eps_den inst0 =
          (label-class, moat-leader); inner nodes forward at most two
          distinct witnesses per class, so a class is unsatisfied iff the
          root hears it with two distinct leaders.  Genuinely simulated. ---- *)
+      (tspan "activity" @@ fun () ->
       let moat_leader ti =
         (* Largest terminal node id in the moat — the L(M) convention. *)
         let rep = Uf.find gs.moats ti in
@@ -537,8 +555,8 @@ let run ~eps_num ~eps_den inst0 =
         if ti >= 0 then [ g_label gs ti, moat_leader ti ] else []
       in
       let witnesses, w_stats =
-        Tree_ops.upcast_dedup ~per_key:2 g_scaled ~tree ~items:witness_items
-          ~key:fst
+        Tree_ops.upcast_dedup ?observer ?telemetry ~per_key:2 g_scaled ~tree
+          ~items:witness_items ~key:fst
           ~bits:(fun _ -> 2 * Bitsize.id_bits ~n)
       in
       Ledger.add ledger Ledger.Simulated
@@ -558,7 +576,8 @@ let run ~eps_num ~eps_den inst0 =
           leaders_of []
       in
       let _, ab_stats =
-        Tree_ops.broadcast g_scaled ~tree ~items:unsatisfied
+        Tree_ops.broadcast ?observer ?telemetry g_scaled ~tree
+          ~items:unsatisfied
           ~bits:(fun _ -> Bitsize.id_bits ~n)
       in
       Ledger.add ledger Ledger.Simulated
@@ -577,7 +596,7 @@ let run ~eps_num ~eps_den inst0 =
         gs.terms;
       let from_protocol = Array.copy gs.act in
       g_recompute_activity gs;
-      assert (from_protocol = gs.act);
+      assert (from_protocol = gs.act));
       mu_hat := Moat_rounded.next_threshold ~eps_num ~eps_den !mu_hat
     done;
     if g_exists_active gs then
@@ -608,15 +627,21 @@ let run ~eps_num ~eps_den inst0 =
         seeds.(e.Graph.u) <- true;
         seeds.(e.Graph.v) <- true)
       fmin;
-    let flood_edges, tf_stats = Select.token_flood g ~parent ~seeds in
-    Ledger.add ledger Ledger.Simulated "final: token flood" tf_stats.Sim.rounds;
-    List.iter (fun eid -> solution.(eid) <- true) flood_edges;
-    (* The merge-level F_min above is not quite edge-minimal (merge paths
-       can overlap at Steiner nodes); the fast pruning routine of
-       Appendix F.3 finishes the job distributively. *)
-    let pr = Pruning.run inst ~f:solution ~sigma in
-    Ledger.merge_into ~dst:ledger pr.Pruning.ledger;
-    let solution = pr.Pruning.pruned in
+    let solution =
+      tspan "final" @@ fun () ->
+      let flood_edges, tf_stats =
+        Select.token_flood ?observer ?telemetry g ~parent ~seeds
+      in
+      Ledger.add ledger Ledger.Simulated "final: token flood"
+        tf_stats.Sim.rounds;
+      List.iter (fun eid -> solution.(eid) <- true) flood_edges;
+      (* The merge-level F_min above is not quite edge-minimal (merge paths
+         can overlap at Steiner nodes); the fast pruning routine of
+         Appendix F.3 finishes the job distributively. *)
+      let pr = Pruning.run inst ~f:solution ~sigma in
+      Ledger.merge_into ~dst:ledger pr.Pruning.ledger;
+      pr.Pruning.pruned
+    in
     {
       solution;
       weight = Instance.solution_weight inst solution;

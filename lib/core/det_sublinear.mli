@@ -37,4 +37,15 @@ type result = {
   small_moat_iterations : int;
 }
 
-val run : eps_num:int -> eps_den:int -> Dsf_graph.Instance.ic -> result
+val run :
+  ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
+  eps_num:int ->
+  eps_den:int ->
+  Dsf_graph.Instance.ic ->
+  result
+(** [observer] taps every simulated run (per-run, domain-safe).
+    [telemetry] profiles the run as a span tree ([minimalize] / [setup] /
+    [growth] with [merge_phase], [small_moats] and [activity] nested per
+    growth phase / [final]) and attaches the ledger so charged entries land
+    in their enclosing span. *)

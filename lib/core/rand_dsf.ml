@@ -23,13 +23,19 @@ let isqrt = Dsf_util.Intmath.isqrt
 
 
 (* One full first-stage run: returns the selected edge set F. *)
-let first_stage ?observer rng g inst ledger note_stats ~truncate =
+let first_stage ?observer ?telemetry rng g inst ledger note_stats ~truncate =
+  let tspan name fn = Dsf_congest.Telemetry.span_opt telemetry name fn in
   let n = Graph.n g in
   let m = Graph.m g in
-  let tree, bfs_stats = Bfs.build ?observer g ~root:(Bfs.max_id_root g) in
+  let tree, bfs_stats =
+    Bfs.build ?observer ?telemetry g ~root:(Bfs.max_id_root g)
+  in
   note_stats "stage1: BFS tree" bfs_stats;
   let truncate_at = if truncate then Some (isqrt n) else None in
-  let vt, vt_rounds = Virtual_tree.build ?observer rng ?truncate_at g in
+  let vt, vt_rounds =
+    tspan "virtual_tree" (fun () ->
+        Virtual_tree.build ?observer rng ?truncate_at g)
+  in
   Ledger.add ledger Ledger.Simulated "stage1: virtual tree (LE lists + S Voronoi)"
     vt_rounds;
   let f = Array.make m false in
@@ -39,12 +45,14 @@ let first_stage ?observer rng g inst ledger note_stats ~truncate =
     (fun v l -> if l >= 0 then holders.(v) <- [ l ])
     inst.Instance.labels;
   for i = 0 to vt.Virtual_tree.levels do
+    tspan "level" @@ fun () ->
     let tag label = Printf.sprintf "stage1 level %d: %s" i label in
     (* (a) drop labels with a single holder: simulated two-witness
        convergecast + broadcast, as in Lemma 2.4. *)
     let witness_items v = List.map (fun l -> l, v) holders.(v) in
     let witnesses, w_stats =
-      Tree_ops.upcast_dedup ?observer ~per_key:2 g ~tree ~items:witness_items
+      Tree_ops.upcast_dedup ?observer ?telemetry ~per_key:2 g ~tree
+        ~items:witness_items
         ~key:fst
         ~bits:(fun _ -> 2 * Bitsize.id_bits ~n)
     in
@@ -57,7 +65,7 @@ let first_stage ?observer rng g inst ledger note_stats ~truncate =
       witnesses;
     let live = Hashtbl.fold (fun l c acc -> if c >= 2 then l :: acc else acc) count [] in
     let _, lb_stats =
-      Tree_ops.broadcast ?observer g ~tree ~items:live
+      Tree_ops.broadcast ?observer ?telemetry g ~tree ~items:live
         ~bits:(fun _ -> Bitsize.id_bits ~n)
     in
     note_stats (tag "live-label broadcast") lb_stats;
@@ -69,7 +77,9 @@ let first_stage ?observer rng g inst ledger note_stats ~truncate =
       List.map (fun l -> l, vt.Virtual_tree.ancestors.(v).(i)) holders.(v)
     in
     (* (c) route labels to targets. *)
-    let rstates, r_stats = LR.route_phase ?observer g vt ~origins in
+    let rstates, r_stats =
+      tspan "label_routing" (fun () -> LR.route_phase ?observer g vt ~origins)
+    in
     note_stats (tag "label routing") r_stats;
     Array.iter
       (fun st -> List.iter (fun eid -> f.(eid) <- true) st.LR.marked)
@@ -111,7 +121,10 @@ let first_stage ?observer rng g inst ledger note_stats ~truncate =
       else []
     in
     let tables v = rstates.(v).LR.known in
-    let bstates, b_stats = LR.backtrace_phase ?observer g ~tables ~bundles in
+    let bstates, b_stats =
+      tspan "backtrace" (fun () ->
+          LR.backtrace_phase ?observer g ~tables ~bundles)
+    in
     note_stats (tag "backtrace") b_stats;
     for v = 0 to n - 1 do
       holders.(v) <- List.sort_uniq compare (bstates.(v).LR.b_l @ self_kept v)
@@ -119,19 +132,25 @@ let first_stage ?observer rng g inst ledger note_stats ~truncate =
   done;
   f, vt
 
-let run ?observer ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
-  let minimalized = Transform.minimalize ?observer inst0 in
+let run ?observer ?telemetry ?(repetitions = 3) ?force_truncate ?(jobs = 1)
+    ~rng inst0 =
+  let minimalized = Transform.minimalize ?observer ?telemetry inst0 in
   let inst = minimalized.Transform.value in
   let g = inst.Instance.graph in
   let m = Graph.m g in
   let ledger = Ledger.create () in
+  Option.iter
+    (fun t -> Dsf_congest.Telemetry.attach_ledger t ledger)
+    telemetry;
   Ledger.add ledger Ledger.Simulated "setup: minimalize instance (Lemma 2.4)"
     minimalized.Transform.rounds;
   let max_bits = ref 0 in
   let d, _, s = Paths.parameters g in
   (* The regime test of footnote 2, genuinely simulated: count n by
      convergecast, then run Bellman-Ford for at most sqrt(n) rounds. *)
-  let regime, regime_rounds = Dsf_congest.Params.regime ?observer g in
+  let regime, regime_rounds =
+    Dsf_congest.Params.regime ?observer ?telemetry g
+  in
   Ledger.add ledger Ledger.Simulated "determine s vs sqrt(n) (footnote 2)"
     regime_rounds;
   let truncate =
@@ -159,9 +178,25 @@ let run ?observer ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
     let rep_rngs =
       Array.init repetitions (fun i -> Dsf_util.Rng.split rng (i + 1))
     in
+    (* One telemetry fork per repetition, split off sequentially before the
+       fan-out (same discipline as the RNG streams): each trial profiles
+       into its own tree on its own thread id, and the forks merge back in
+       repetition order below — bit-identical for any [jobs]. *)
+    let trial_tels =
+      match telemetry with
+      | None -> [||]
+      | Some t ->
+          Array.init repetitions (fun _ -> Dsf_congest.Telemetry.fork t)
+    in
     let trial i =
       let rep = i + 1 in
+      let tel = if i < Array.length trial_tels then Some trial_tels.(i) else None in
+      let tspan name fn = Dsf_congest.Telemetry.span_opt tel name fn in
+      tspan "trial" @@ fun () ->
       let trial_ledger = Ledger.create () in
+      Option.iter
+        (fun t -> Dsf_congest.Telemetry.attach_ledger t trial_ledger)
+        tel;
       let trial_max_bits = ref 0 in
       let note_stats label (stats : Sim.stats) =
         Ledger.add trial_ledger Ledger.Simulated label stats.Sim.rounds;
@@ -169,16 +204,16 @@ let run ?observer ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
           trial_max_bits := stats.Sim.max_edge_round_bits
       in
       let f, vt =
-        first_stage ?observer rep_rngs.(i) g inst trial_ledger note_stats
-          ~truncate
+        first_stage ?observer ?telemetry:tel rep_rngs.(i) g inst trial_ledger
+          note_stats ~truncate
       in
       let w = Graph.edge_set_weight g f in
       (* Compare candidate forests by a simulated weight convergecast:
          each node contributes half the weight of its selected incident
          edges. *)
       let _, w_stats =
-        let tree, _ = Bfs.build ?observer g ~root:(Bfs.max_id_root g) in
-        Tree_ops.aggregate ?observer g ~tree
+        let tree, _ = Bfs.build ?observer ?telemetry:tel g ~root:(Bfs.max_id_root g) in
+        Tree_ops.aggregate ?observer ?telemetry:tel g ~tree
           ~value:(fun v ->
             Array.fold_left
               (fun acc (_, w', eid) -> if f.(eid) then acc + w' else acc)
@@ -196,9 +231,13 @@ let run ?observer ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
     in
     let best = ref None in
     let phases = ref 0 in
-    Array.iter
-      (fun (w, f, vt, trial_ledger, trial_max_bits) ->
+    Array.iteri
+      (fun i (w, f, vt, trial_ledger, trial_max_bits) ->
         Ledger.merge_into ~dst:ledger trial_ledger;
+        (match telemetry with
+        | Some t ->
+            Dsf_congest.Telemetry.merge_into ~dst:t trial_tels.(i)
+        | None -> ());
         if trial_max_bits > !max_bits then max_bits := trial_max_bits;
         phases := vt.Virtual_tree.levels + 1;
         match !best with
@@ -212,8 +251,9 @@ let run ?observer ?(repetitions = 3) ?force_truncate ?(jobs = 1) ~rng inst0 =
       if not truncate then f
       else begin
         let out =
-          Reduced_solver.solve ?observer inst ~f ~s_set:vt.Virtual_tree.s_set
-            ~diameter:d
+          Dsf_congest.Telemetry.span_opt telemetry "stage2" (fun () ->
+              Reduced_solver.solve ?observer ?telemetry inst ~f
+                ~s_set:vt.Virtual_tree.s_set ~diameter:d)
         in
         Ledger.add ledger Ledger.Simulated "stage2: T_v assignment"
           out.Reduced_solver.assignment_rounds;

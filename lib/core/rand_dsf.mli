@@ -33,6 +33,7 @@ type result = {
 
 val run :
   ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   ?repetitions:int ->
   ?force_truncate:bool ->
   ?jobs:int ->
@@ -52,4 +53,10 @@ val run :
     [observer] taps every simulated run (per-run, not the deprecated
     global shim).  With [jobs > 1] it is invoked concurrently from pool
     domains, so it must be domain-safe (e.g. accumulate into atomics, or
-    into per-domain state). *)
+    into per-domain state).
+
+    [telemetry] profiles the run ([minimalize] / [regime_test] / [trial]
+    / [stage2]); each repetition gets its own {!Dsf_congest.Telemetry.fork}
+    (split sequentially before the fan-out, like the rng streams) and the
+    forks merge back in repetition order, so the profile — wall clock
+    aside — is also bit-identical for every [jobs] value. *)

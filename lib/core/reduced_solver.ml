@@ -16,7 +16,9 @@ type outcome = {
 
 let isqrt = Dsf_util.Intmath.isqrt
 
-let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
+let solve ?observer ?telemetry ?(spanner_stretch = Some 3) inst ~f ~s_set
+    ~diameter =
+  let tspan name fn = Dsf_congest.Telemetry.span_opt telemetry name fn in
   let g = inst.Instance.graph in
   let n = Graph.n g in
   let m = Graph.m g in
@@ -42,8 +44,9 @@ let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
       let big = cap + 1 in
       let weight_of eid = if f.(eid) then 1 else big in
       let res, stats =
-        Bellman_ford.run ?observer g ~weight_of ~radius:cap
-          ~sources:(List.map (fun v -> v, 0) s_set)
+        tspan "t_v_assignment" (fun () ->
+            Bellman_ford.run ?observer ?telemetry g ~weight_of ~radius:cap
+              ~sources:(List.map (fun v -> v, 0) s_set))
       in
       let assignment = res.Bellman_ford.src_of in
       (* Super-terminal index per S node with a nonempty terminal set. *)
@@ -129,8 +132,9 @@ let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
         let label_index = Hashtbl.create 16 in
         List.iteri (fun i l -> Hashtbl.replace label_index l i) all_labels;
         let label_rounds =
+          tspan "label_helper" @@ fun () ->
           let tree, t1 =
-            Dsf_congest.Bfs.build ?observer g
+            Dsf_congest.Bfs.build ?observer ?telemetry g
               ~root:(Dsf_congest.Bfs.max_id_root g)
           in
           (* Gossip stays inside each cell: enable only F-edges whose two
@@ -146,7 +150,8 @@ let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
             else None
           in
           let cell_min, t2 =
-            Dsf_congest.Component_ops.component_min_item ?observer g ~mask
+            Dsf_congest.Component_ops.component_min_item ?observer ?telemetry g
+              ~mask
               ~values
               ~cmp:compare
               ~bits:(fun _ -> Dsf_util.Bitsize.id_bits ~n)
@@ -165,12 +170,12 @@ let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
             else []
           in
           let helper_forest, t3 =
-            Dsf_congest.Pipeline.filtered_upcast ?observer g ~tree
+            Dsf_congest.Pipeline.filtered_upcast ?observer ?telemetry g ~tree
               ~vn:(List.length all_labels) ~pre:[] ~items ~cmp:compare
               ~bits:(fun _ -> 2 * Dsf_util.Bitsize.id_bits ~n)
           in
           let _, t4 =
-            Dsf_congest.Tree_ops.broadcast ?observer g ~tree
+            Dsf_congest.Tree_ops.broadcast ?observer ?telemetry g ~tree
               ~items:helper_forest
               ~bits:(fun _ -> 2 * Dsf_util.Bitsize.id_bits ~n)
           in
@@ -227,6 +232,7 @@ let solve ?observer ?(spanner_stretch = Some 3) inst ~f ~s_set ~diameter =
            its edges back to shortest paths.  (Without a stretch this
            degenerates to solving directly on the reduced graph.) *)
         let hat_solution =
+          tspan "central_solve" @@ fun () ->
           match spanner_stretch with
           | None -> (Moat.run inst_hat).Moat.solution
           | Some stretch ->

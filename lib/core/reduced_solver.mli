@@ -33,6 +33,7 @@ type outcome = {
 
 val solve :
   ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   ?spanner_stretch:int option ->
   Dsf_graph.Instance.ic ->
   f:bool array ->

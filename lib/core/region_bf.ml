@@ -22,7 +22,7 @@ let better (d1, o1, h1) (d2, o2, h2) =
   let c = Frac.compare d1 d2 in
   c < 0 || (c = 0 && (o1, h1) < (o2, h2))
 
-let run ?observer g ~sources ~frozen =
+let run ?observer ?telemetry g ~sources ~frozen =
   let n = Graph.n g in
   let init = Hashtbl.create (List.length sources) in
   List.iter
@@ -110,7 +110,10 @@ let run ?observer g ~sources ~frozen =
       wake = Some Sim.never;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Dsf_congest.Telemetry.span_opt telemetry "region_bf" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   ( Array.map
       (fun st ->
         if st.owner >= 0 then

@@ -21,6 +21,7 @@ type node_result = {
 
 val run :
   ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   Dsf_graph.Graph.t ->
   sources:(int * Frac.t * int) list ->
   frozen:bool array ->

@@ -7,7 +7,7 @@ type state = {
   marked : int list;
 }
 
-let token_flood ?observer g ~parent ~seeds =
+let token_flood ?observer ?telemetry g ~parent ~seeds =
   let proto : (state, unit) Sim.protocol =
     {
       init =
@@ -32,7 +32,10 @@ let token_flood ?observer g ~parent ~seeds =
       wake = None;
     }
   in
-  let states, stats = Sim.run ?observer g proto in
+  let states, stats =
+    Dsf_congest.Telemetry.span_opt telemetry "token_flood" (fun () ->
+        Sim.run ?observer ?telemetry g proto)
+  in
   let edges =
     Array.fold_left (fun acc st -> List.rev_append st.marked acc) [] states
   in

@@ -8,6 +8,7 @@
 
 val token_flood :
   ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   Dsf_graph.Graph.t ->
   parent:int array ->
   seeds:bool array ->

@@ -56,37 +56,40 @@ let khan_hook :
          depend on dsf_baseline or avoid Khan_baseline")
 [@@lint.allow "global-state"]
 
-let solve_ic ?(jobs = 1) algo inst =
+let solve_ic ?(jobs = 1) ?observer ?telemetry algo inst =
+  let tspan name f = Dsf_congest.Telemetry.span_opt telemetry name f in
   match algo with
   | Det ->
-      let r = Det_dsf.run inst in
+      let r = Det_dsf.run ?observer ?telemetry inst in
       of_ledger algo inst r.Det_dsf.solution r.Det_dsf.weight
         (Some (Frac.to_float r.Det_dsf.dual))
         (Some r.Det_dsf.ledger)
   | Det_sublinear { eps_num; eps_den } ->
-      let r = Det_sublinear.run ~eps_num ~eps_den inst in
+      let r = Det_sublinear.run ?observer ?telemetry ~eps_num ~eps_den inst in
       of_ledger algo inst r.Det_sublinear.solution r.Det_sublinear.weight None
         (Some r.Det_sublinear.ledger)
   | Rand { repetitions; seed } ->
       let r =
-        Rand_dsf.run ~repetitions ~jobs ~rng:(Dsf_util.Rng.create seed) inst
+        Rand_dsf.run ?observer ?telemetry ~repetitions ~jobs
+          ~rng:(Dsf_util.Rng.create seed) inst
       in
       of_ledger algo inst r.Rand_dsf.solution r.Rand_dsf.weight None
         (Some r.Rand_dsf.ledger)
   | Khan_baseline { repetitions; seed } ->
       let solution, weight, ledger =
-        !khan_hook ~repetitions ~rng:(Dsf_util.Rng.create seed) inst
+        tspan "khan_baseline" (fun () ->
+            !khan_hook ~repetitions ~rng:(Dsf_util.Rng.create seed) inst)
       in
       of_ledger algo inst solution weight None (Some ledger)
   | Centralized_moat ->
-      let r = Moat.run inst in
+      let r = tspan "centralized_moat" (fun () -> Moat.run inst) in
       of_ledger algo inst r.Moat.solution r.Moat.weight
         (Some (Frac.to_float r.Moat.dual))
         None
 
-let solve_cr ?jobs algo cr =
-  let out = Transform.cr_to_ic cr in
-  let report = solve_ic ?jobs algo out.Transform.value in
+let solve_cr ?jobs ?observer ?telemetry algo cr =
+  let out = Transform.cr_to_ic ?observer ?telemetry cr in
+  let report = solve_ic ?jobs ?observer ?telemetry algo out.Transform.value in
   let ledger =
     match report.ledger with
     | Some l ->
@@ -103,7 +106,7 @@ let solve_cr ?jobs algo cr =
     ledger;
   }
 
-let compare_all ?jobs ?algorithms inst =
+let compare_all ?jobs ?observer ?telemetry ?algorithms inst =
   let algorithms =
     match algorithms with
     | Some l -> l
@@ -115,5 +118,5 @@ let compare_all ?jobs ?algorithms inst =
           Khan_baseline { repetitions = 3; seed = 1 };
         ]
   in
-  List.map (fun a -> solve_ic ?jobs a inst) algorithms
+  List.map (fun a -> solve_ic ?jobs ?observer ?telemetry a inst) algorithms
   |> List.sort (fun a b -> compare a.weight b.weight)

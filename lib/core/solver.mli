@@ -30,17 +30,38 @@ type report = {
   ledger : Dsf_congest.Ledger.t option;
 }
 
-val solve_ic : ?jobs:int -> algorithm -> Dsf_graph.Instance.ic -> report
+val solve_ic :
+  ?jobs:int ->
+  ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
+  algorithm ->
+  Dsf_graph.Instance.ic ->
+  report
 (** [jobs] (default 1) parallelizes the trial fan-out of algorithms that
     have one ({!algorithm.Rand}'s repetitions) on the {!Dsf_util.Pool};
-    results are bit-identical for every [jobs] value. *)
+    results are bit-identical for every [jobs] value.
 
-val solve_cr : ?jobs:int -> algorithm -> Dsf_graph.Instance.cr -> report
+    [observer] taps every simulated run of the chosen algorithm.
+    [telemetry] profiles it: the distributed algorithms open their own
+    phase spans (see each module's docs); the centralized reference and
+    the Khan baseline are wrapped in a single [centralized_moat] /
+    [khan_baseline] span. *)
+
+val solve_cr :
+  ?jobs:int ->
+  ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
+  algorithm ->
+  Dsf_graph.Instance.cr ->
+  report
 (** Applies the distributed Lemma 2.3 transform first; its rounds are
-    added to the report (and its ledger entry when a ledger exists). *)
+    added to the report (and its ledger entry when a ledger exists).
+    Under [telemetry] the transform shows up as a [cr_to_ic] span. *)
 
 val compare_all :
   ?jobs:int ->
+  ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   ?algorithms:algorithm list ->
   Dsf_graph.Instance.ic ->
   report list

@@ -18,6 +18,7 @@ type 'a outcome = {
 
 val cr_to_ic :
   ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   Dsf_graph.Instance.cr ->
   Dsf_graph.Instance.ic outcome
 (** The resulting labels are the smallest terminal id in each request
@@ -25,5 +26,6 @@ val cr_to_ic :
 
 val minimalize :
   ?observer:Dsf_congest.Sim.observer ->
+  ?telemetry:Dsf_congest.Telemetry.t ->
   Dsf_graph.Instance.ic ->
   Dsf_graph.Instance.ic outcome

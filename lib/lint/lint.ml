@@ -82,6 +82,12 @@ let rules =
 let sim_globals_allowlist =
   [ "lib/congest/sim.ml"; "test/test_sim_equiv.ml"; "test/test_lower_bound.ml" ]
 
+(* The one library file that may read the wall clock: telemetry's [now_ns]
+   is the sanctioned (and injectable) clock every other module profiles
+   through.  Keeping the read centralized is what makes traces
+   deterministic under an injected clock. *)
+let wall_clock_allowlist = [ "lib/congest/telemetry.ml" ]
+
 (* The one file that may construct and mutate inbox/outbox structures and
    invoke protocol [step] fields: the simulator itself. *)
 let congest_exempt = [ "lib/congest/sim.ml" ]
@@ -259,12 +265,14 @@ let check_ident ctx ~loc lid =
           "thread a Dsf_util.Rng.t (or Random.State.t) so results replay \
            from a seed and parallel trials stay independent"
   | "Unix.gettimeofday" | "Unix.time" | "Sys.time"
-    when ctx.zone = Lib || ctx.zone = Bin ->
+    when (ctx.zone = Lib || ctx.zone = Bin)
+         && not (List.mem ctx.file wall_clock_allowlist) ->
       emit ctx ~loc ~rule:rule_nondet
         ~message:(Printf.sprintf "wall-clock read `%s' outside bench/" p)
         ~hint:
           "measured quantities (rounds, bits) must not depend on time; \
-           timing belongs in bench/ harness code only"
+           profile through Dsf_congest.Telemetry (its now_ns is the one \
+           sanctioned, injectable clock) or keep timing in bench/"
   | "Domain.self" when ctx.zone = Lib ->
       emit ctx ~loc ~rule:rule_nondet
         ~message:"`Domain.self' used in library code"

@@ -1,0 +1,78 @@
+(* Deterministic power-of-two histogram.  Bucket 0 holds the value 0;
+   bucket i >= 1 holds values in [2^(i-1), 2^i - 1] — i.e. the bucket
+   index of v > 0 is the bit length of v.  Everything is integer counts,
+   so merging is exact, commutative, and associative: pooled trial
+   registries can be combined in any order and still render
+   bit-identically (the qcheck suite checks this). *)
+
+let bucket_count = 64
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;  (* max_int when empty *)
+  mutable vmax : int;  (* -1 when empty *)
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; vmin = max_int; vmax = -1;
+    buckets = Array.make bucket_count 0 }
+
+let bucket_of v =
+  if v < 0 then invalid_arg "Histogram.observe: negative value"
+  else if v = 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (bucket_count - 1) (bits 0 v)
+  end
+
+let observe t v =
+  let b = bucket_of v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.vmin
+let max_value t = if t.count = 0 then 0 else t.vmax
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let merge_into ~dst t =
+  dst.count <- dst.count + t.count;
+  dst.sum <- dst.sum + t.sum;
+  if t.vmin < dst.vmin then dst.vmin <- t.vmin;
+  if t.vmax > dst.vmax then dst.vmax <- t.vmax;
+  Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) t.buckets
+
+let copy t =
+  { count = t.count; sum = t.sum; vmin = t.vmin; vmax = t.vmax;
+    buckets = Array.copy t.buckets }
+
+(* Non-empty buckets as [(bucket index, count)], ascending — the stable,
+   order-independent rendering order. *)
+let buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+(* Human label for a bucket: the inclusive value range it covers. *)
+let bucket_label i =
+  if i = 0 then "0"
+  else if i = 1 then "1"
+  else Printf.sprintf "%d..%d" (1 lsl (i - 1)) ((1 lsl i) - 1)
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else begin
+    Format.fprintf ppf "count=%d sum=%d min=%d max=%d" t.count t.sum
+      (min_value t) (max_value t);
+    List.iter
+      (fun (i, c) -> Format.fprintf ppf " [%s]:%d" (bucket_label i) c)
+      (buckets t)
+  end

@@ -1,0 +1,41 @@
+(** Deterministic power-of-two histogram.
+
+    Bucket 0 holds the value 0; bucket [i >= 1] holds values in
+    [2^(i-1) .. 2^i - 1] (the bucket index of [v > 0] is the bit length
+    of [v]).  All state is integer counts, so {!merge_into} is exact,
+    commutative, and associative — pooled per-trial histograms can be
+    merged in any order and render bit-identically.  Used by the
+    telemetry layer for round-level engine metrics (active-set size,
+    inbox depth, bits per round). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one non-negative value.  @raise Invalid_argument on v < 0. *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every observation of the argument into [dst]. *)
+
+val copy : t -> t
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(bucket index, count)], ascending index. *)
+
+val bucket_label : int -> string
+(** Inclusive value range a bucket covers, e.g. ["4..7"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+(* Named metric registry: counters and histograms keyed by string.
+   Internally a hashtable, but every externally visible rendering
+   ({!items}, {!pp}) is sorted by name, so two registries built from the
+   same multiset of observations — in any order, on any domain schedule —
+   render bit-identically.  {!merge_into} is pointwise integer addition,
+   hence commutative and associative; the pooled trial engine relies on
+   that to merge per-trial registries in trial order and still match the
+   single-domain run exactly. *)
+
+type item = Counter of int ref | Hist of Histogram.t
+
+type t = (string, item) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let incr t name by =
+  match Hashtbl.find_opt t name with
+  | Some (Counter r) -> r := !r + by
+  | Some (Hist _) ->
+      invalid_arg ("Metrics.incr: `" ^ name ^ "' is a histogram")
+  | None -> Hashtbl.replace t name (Counter (ref by))
+
+let observe t name v =
+  match Hashtbl.find_opt t name with
+  | Some (Hist h) -> Histogram.observe h v
+  | Some (Counter _) ->
+      invalid_arg ("Metrics.observe: `" ^ name ^ "' is a counter")
+  | None ->
+      let h = Histogram.create () in
+      Histogram.observe h v;
+      Hashtbl.replace t name (Hist h)
+
+let counter_value t name =
+  match Hashtbl.find_opt t name with
+  | Some (Counter r) -> !r
+  | Some (Hist _) ->
+      invalid_arg ("Metrics.counter_value: `" ^ name ^ "' is a histogram")
+  | None -> 0
+
+let histogram t name =
+  match Hashtbl.find_opt t name with
+  | Some (Hist h) -> Some h
+  | Some (Counter _) ->
+      invalid_arg ("Metrics.histogram: `" ^ name ^ "' is a counter")
+  | None -> None
+
+let items t =
+  Hashtbl.fold
+    (fun name item acc ->
+      ( name,
+        match item with
+        | Counter r -> `Counter !r
+        | Hist h -> `Histogram h )
+      :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_into ~(dst : t) (t : t) =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `Counter c -> incr dst name c
+      | `Histogram h -> (
+          match Hashtbl.find_opt dst name with
+          | Some (Hist dh) -> Histogram.merge_into ~dst:dh h
+          | Some (Counter _) ->
+              invalid_arg
+                ("Metrics.merge_into: kind mismatch for `" ^ name ^ "'")
+          | None -> Hashtbl.replace dst name (Hist (Histogram.copy h))))
+    (items t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      match v with
+      | `Counter c -> Format.fprintf ppf "%-32s %d" name c
+      | `Histogram h -> Format.fprintf ppf "%-32s %a" name Histogram.pp h)
+    (items t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Named metric registry: counters and histograms keyed by string.
+
+    Every rendering is sorted by name and {!merge_into} is pointwise
+    integer addition (commutative, associative), so registries filled on
+    different pool domains and merged in trial order render
+    bit-identically to the single-domain run.  This is the backing store
+    for the telemetry layer's round-level engine metrics. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> int -> unit
+(** Add to a counter, creating it at 0 first if absent.
+    @raise Invalid_argument if the name is already a histogram. *)
+
+val observe : t -> string -> int -> unit
+(** Record a non-negative value into a histogram, creating it if absent.
+    @raise Invalid_argument if the name is already a counter. *)
+
+val counter_value : t -> string -> int
+(** 0 when absent. *)
+
+val histogram : t -> string -> Histogram.t option
+
+val items :
+  t -> (string * [ `Counter of int | `Histogram of Histogram.t ]) list
+(** All entries, sorted by name. *)
+
+val merge_into : dst:t -> t -> unit
+(** Pointwise addition.  @raise Invalid_argument on a counter/histogram
+    kind mismatch for the same name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -80,7 +80,13 @@ let test_nondet () =
     "let roll st = Random.State.int st 6";
   (* benches may read the wall clock and use the global RNG *)
   quiet ~file:"bench/micro.ml" "let now () = Unix.gettimeofday ()";
-  quiet ~file:"bench/micro.ml" "let roll () = Random.int 6"
+  quiet ~file:"bench/micro.ml" "let roll () = Random.int 6";
+  (* telemetry.ml is the one sanctioned lib/ clock; every other library
+     file must profile through it *)
+  quiet ~file:"lib/congest/telemetry.ml"
+    "let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)";
+  fires ~file:"lib/congest/trace.ml" "nondet"
+    "let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)"
 
 (* ----------------------------------------------- congest-discipline *)
 

@@ -153,6 +153,34 @@ let prop_bfs_leader_exchange_equiv =
       in
       tr1 = tr2 && stats_eq bt1 bt2 && le1 = le2 && stats_eq ex1 ex2)
 
+let prop_telemetry_transparent =
+  QCheck.Test.make
+    ~name:"?telemetry never perturbs a run (both engines)" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      (* The hook only observes: states, stats and observer traces of an
+         instrumented run must be bit-identical to the bare run — on the
+         active-set engine and the reference loop alike. *)
+      let record_active telemetry =
+        let log = ref [] in
+        let observer ~src ~dst ~bits = log := (src, dst, bits) :: !log in
+        let s, t = Sim.run ~observer ?telemetry g (flood_protocol root) in
+        s, t, List.rev !log
+      in
+      let record_reference telemetry =
+        let log = ref [] in
+        let observer ~src ~dst ~bits = log := (src, dst, bits) :: !log in
+        let s, t =
+          Sim.run_reference ~observer ?telemetry g (flood_protocol root)
+        in
+        s, t, List.rev !log
+      in
+      let tel () = Some (Telemetry.create ~clock:(fun () -> 0L) ()) in
+      record_active None = record_active (tel ())
+      && record_reference None = record_reference (tel ()))
+
 let prop_empty_plan_identity =
   QCheck.Test.make
     ~name:"?faults with the empty plan is bit-identical" ~count:25
@@ -275,6 +303,7 @@ let suites =
         qtest prop_pipeline_equiv;
         qtest prop_tree_ops_equiv;
         qtest prop_bfs_leader_exchange_equiv;
+        qtest prop_telemetry_transparent;
         qtest prop_empty_plan_identity;
         Alcotest.test_case "single node" `Quick test_single_node;
         Alcotest.test_case "round limit" `Quick test_round_limit_equiv;
