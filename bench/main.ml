@@ -10,6 +10,8 @@
    dune exec bench/main.exe -- chaos       -- hardened-vs-lossless differential
                                               smoke under a fixed fault plan
                                               (exits nonzero on divergence)
+   dune exec bench/main.exe -- flatcheck   -- flat-vs-active engine differential
+                                              smoke (exits nonzero on divergence)
 
    Options (after the mode):
      --jobs N, -j N   domains for the pooled sweeps and trial fan-outs
@@ -24,8 +26,9 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|ablations|micro|smoke|chaos] [--jobs N] \
-     [--out PATH] [--trace PATH] [--trace-format console|jsonl|chrome]";
+    "usage: main.exe [all|tables|ablations|micro|smoke|chaos|flatcheck] \
+     [--jobs N] [--out PATH] [--trace PATH] \
+     [--trace-format console|jsonl|chrome]";
   exit 2
 
 let () =
@@ -73,6 +76,7 @@ let () =
   if what = "all" || what = "micro" then Micro.run ~jobs ~out ();
   if what = "smoke" then Micro.smoke ~jobs ~out ();
   if what = "all" || what = "chaos" then Chaos.run ();
+  if what = "flatcheck" then Micro.flat_check ();
   (match trace_sink with
   | Some (format, path) -> Micro.write_trace ~format path
   | None -> ());

@@ -9,10 +9,15 @@
    - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
      measurement quota — fast enough for every-PR CI (bin/ci.sh).
 
-   Both modes write BENCH_sim.json (schema dsf-bench-sim/4: ns/run, minor GC
-   words/run, rounds/s, the active/reference speedups, plus provenance —
-   git_rev, utc_date, jobs, cores — a parallel_scaling section timing
-   the pooled fan-outs at jobs = 1 / 2 / max, a fault_overhead section
+   Both modes write BENCH_sim.json (schema dsf-bench-sim/5: ns/run, minor GC
+   words/run, rounds/s, the active/reference/flat speedups, plus
+   provenance — git_rev, utc_date, jobs, cores — a parallel_scaling
+   section timing the pooled fan-outs at jobs = 1 / 2 / max (each row
+   carrying the detected core count and a "saturated" flag on points
+   asking for more domains than cores), a flat_engine section with the
+   native flat-BFS headline numbers (rounds/s and minor words/round on
+   paths at n = 256 / 4096 / 16384, jobs = 1 / 2 / 4, vs the active
+   engine — what bin/ci.sh's GC gate reads), a fault_overhead section
    tabulating the round/message/retransmission cost of Fault.harden at
    increasing drop probability, and a phase_profile section with the
    telemetry span tree of the E1 and A6 workloads — per-phase rounds,
@@ -61,6 +66,11 @@ let in_reference f =
   Fun.protect ~finally:(fun () -> Sim.use_reference_engine := false) f
 [@@lint.allow "sim-globals"]
 
+let in_flat f =
+  Sim.use_flat_engine := true;
+  Fun.protect ~finally:(fun () -> Sim.use_flat_engine := false) f
+[@@lint.allow "sim-globals"]
+
 (* Each case is a sparse-activity CONGEST workload returning its stats; it
    is benchmarked once on the active-set engine and once on the kept seed
    loop.  The acceptance metric of the active-set scheduler PR is the
@@ -107,6 +117,9 @@ let sim_tests =
         Test.make
           ~name:(Printf.sprintf "sim/%s [reference]" nm)
           (Staged.stage (fun () -> ignore (in_reference thunk)));
+        Test.make
+          ~name:(Printf.sprintf "sim/%s [flat]" nm)
+          (Staged.stage (fun () -> ignore (in_flat thunk)));
       ])
     sim_cases
 
@@ -120,6 +133,7 @@ let rounds_of name =
     (fun (nm, rounds) ->
       if name = Printf.sprintf "sim/%s [active]" nm
          || name = Printf.sprintf "sim/%s [reference]" nm
+         || name = Printf.sprintf "sim/%s [flat]" nm
       then Some rounds
       else None)
     (Lazy.force sim_rounds)
@@ -256,8 +270,13 @@ let print_rows rows =
         r.r2 r.minor_words rps)
     rows
 
-(* Active/reference pairs -> measured speedups. *)
-type speedup = { workload : string; active_ns : float; reference_ns : float }
+(* Active/reference/flat triples -> measured speedups. *)
+type speedup = {
+  workload : string;
+  active_ns : float;
+  reference_ns : float;
+  flat_ns : float;
+}
 
 let speedups rows =
   List.filter_map
@@ -267,20 +286,22 @@ let speedups rows =
           (fun r -> r.name = Printf.sprintf "sim/%s [%s]" nm suffix)
           rows
       in
-      match find "active", find "reference" with
-      | Some a, Some r ->
+      match find "active", find "reference", find "flat" with
+      | Some a, Some r, Some f ->
           Some { workload = nm; active_ns = a.ns_per_run;
-                 reference_ns = r.ns_per_run }
+                 reference_ns = r.ns_per_run; flat_ns = f.ns_per_run }
       | _ -> None)
     sim_cases
 
 let print_speedups sp =
-  Format.printf "@.%-42s %14s %14s %9s@." "active-set speedup" "active ns"
-    "reference ns" "x";
+  Format.printf "@.%-42s %14s %14s %12s %9s %9s@." "engine speedups"
+    "active ns" "reference ns" "flat ns" "act x" "flat x";
   List.iter
     (fun s ->
-      Format.printf "%-42s %14.0f %14.0f %9.2f@." s.workload s.active_ns
-        s.reference_ns (s.reference_ns /. s.active_ns))
+      Format.printf "%-42s %14.0f %14.0f %12.0f %9.2f %9.2f@." s.workload
+        s.active_ns s.reference_ns s.flat_ns
+        (s.reference_ns /. s.active_ns)
+        (s.active_ns /. s.flat_ns))
     sp
 
 (* ------------------------------------------------------- parallel scaling *)
@@ -367,18 +388,136 @@ let measure_scaling () =
       { workload; check = Option.get !check; runs })
     scaling_workloads
 
+(* A scaling point asking for more domains than the machine has cores
+   cannot speed up further — annotate instead of letting a flat curve
+   read as a regression (CI containers are often 1-2 cores). *)
+let detected_cores () = Domain.recommended_domain_count ()
+let saturated ~jobs = jobs > detected_cores ()
+
 let print_scaling scaling =
-  Format.printf "@.%-42s %6s %14s %10s@." "parallel scaling" "jobs" "wall ns"
-    "x vs j=1";
+  Format.printf "@.%-42s %6s %14s %10s   (cores: %d)@." "parallel scaling"
+    "jobs" "wall ns" "x vs j=1" (detected_cores ());
   List.iter
     (fun s ->
       let base = match s.runs with (_, ns) :: _ -> ns | [] -> nan in
       List.iter
         (fun (jobs, ns) ->
-          Format.printf "%-42s %6d %14.0f %10.2f@." s.workload jobs ns
-            (base /. ns))
+          Format.printf "%-42s %6d %14.0f %10.2f%s@." s.workload jobs ns
+            (base /. ns)
+            (if saturated ~jobs then "  [saturated]" else ""))
         s.runs)
     scaling
+
+(* ------------------------------------------------------------- flat engine *)
+
+(* Whole-run wall clock + coordinator-domain GC for the flat engine's
+   headline numbers: the native flat BFS ({!Dsf_congest.Bfs.flat_protocol})
+   on paths — the highest-diameter, sparsest-activity workload, i.e. the
+   active scheduler's worst case — against the active engine running the
+   classic protocol on the same graph.  Sizes and jobs are fixed so later
+   PRs diff like against like; the jobs=1 minor-words column at n=256 is
+   what bin/ci.sh's GC gate reads. *)
+
+type flat_row = {
+  fl_n : int;
+  fl_jobs : int;
+  fl_rounds : int;
+  fl_wall_ns : float;
+  fl_rps : float;
+  fl_words_per_round : float;
+  fl_speedup : float;  (* vs the active engine on the classic protocol *)
+}
+
+let flat_sizes = [ 256; 4096; 16384 ]
+let flat_jobs_points = [ 1; 2; 4 ]
+
+let measure_flat () =
+  List.concat_map
+    (fun n ->
+      let g = Gen.path n in
+      let active_ns =
+        let t0 = Unix.gettimeofday () in
+        ignore (Sim.run g (Dsf_congest.Bfs.protocol ~root:0));
+        (Unix.gettimeofday () -. t0) *. 1e9
+      in
+      List.map
+        (fun jobs ->
+          let proto = Dsf_congest.Bfs.flat_protocol ~root:0 in
+          (* Build the CSR view outside the timed region: it is a one-time
+             per-graph cost every engine shares. *)
+          ignore (Dsf_graph.Graph.csr g);
+          let best = ref infinity and words = ref infinity and rounds = ref 0 in
+          for _ = 1 to 3 do
+            let w0 = Gc.minor_words () in
+            let t0 = Unix.gettimeofday () in
+            let _, stats = Sim.run_flat ~jobs g proto in
+            let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+            let w = Gc.minor_words () -. w0 in
+            rounds := stats.Sim.rounds;
+            if ns < !best then best := ns;
+            if w < !words then words := w
+          done;
+          {
+            fl_n = n;
+            fl_jobs = jobs;
+            fl_rounds = !rounds;
+            fl_wall_ns = !best;
+            fl_rps = float_of_int !rounds *. 1e9 /. !best;
+            fl_words_per_round = !words /. float_of_int (max 1 !rounds);
+            fl_speedup = active_ns /. !best;
+          })
+        flat_jobs_points)
+    flat_sizes
+
+let print_flat rows =
+  Format.printf "@.%-28s %6s %8s %14s %12s %14s %10s@." "flat engine (path BFS)"
+    "jobs" "rounds" "wall ns" "rounds/s" "words/round" "x vs act";
+  List.iter
+    (fun f ->
+      Format.printf "%-28s %6d %8d %14.0f %12.3e %14.1f %10.1f@."
+        (Printf.sprintf "n=%d" f.fl_n)
+        f.fl_jobs f.fl_rounds f.fl_wall_ns f.fl_rps f.fl_words_per_round
+        f.fl_speedup)
+    rows
+
+(* ------------------------------------------------------- flatcheck smoke *)
+
+(* Flat-vs-active differential smoke for bin/ci.sh (`-- flatcheck`): a
+   handful of stock workloads through both engines, comparing full results
+   (states, trees, stats); exits nonzero on any divergence — the same
+   contract the qcheck differential suite enforces, as a standalone CI
+   step that needs no test runner. *)
+let flat_check () =
+  let ok = ref true in
+  let check name b =
+    Format.printf "flatcheck: %-32s %s@." name (if b then "ok" else "DIVERGED");
+    if not b then ok := false
+  in
+  let g40 = Lazy.force shared_graph in
+  let p256 = Lazy.force path256 in
+  let bf g = Dsf_congest.Bellman_ford.sssp g ~src:0 in
+  check "bellman-ford random n=40" (bf g40 = in_flat (fun () -> bf g40));
+  check "bellman-ford path n=256" (bf p256 = in_flat (fun () -> bf p256));
+  let bfs g = Dsf_congest.Bfs.build g ~root:0 in
+  check "bfs random n=40" (bfs g40 = in_flat (fun () -> bfs g40));
+  (* The native flat BFS must reproduce the classic tree and stats. *)
+  let tree, stats = bfs p256 in
+  let fstates, fstats =
+    Sim.run_flat p256 (Dsf_congest.Bfs.flat_protocol ~root:0)
+  in
+  let n = Dsf_graph.Graph.n p256 in
+  let same = ref (stats = fstats) in
+  Array.iteri
+    (fun v packed ->
+      match Dsf_congest.Bfs.flat_state_parent_depth ~n packed with
+      | Some (p, d)
+        when p = tree.Dsf_congest.Bfs.parent.(v)
+             && d = tree.Dsf_congest.Bfs.depth.(v) ->
+          ()
+      | _ -> same := false)
+    fstates;
+  check "native flat bfs path n=256" !same;
+  if not !ok then exit 1
 
 (* --------------------------------------------------------- fault overhead *)
 
@@ -572,10 +711,10 @@ let json_float x =
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
   else Printf.sprintf "%.1f" x
 
-let write_json ~mode ~jobs rows sp scaling fo profile path =
+let write_json ~mode ~jobs rows sp scaling fo flat profile path =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"schema\": \"dsf-bench-sim/4\",\n  \"mode\": %S,\n" mode;
+  p "{\n  \"schema\": \"dsf-bench-sim/5\",\n  \"mode\": %S,\n" mode;
   p "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   p "  \"utc_date\": \"%s\",\n" (utc_date ());
   p "  \"jobs\": %d,\n" jobs;
@@ -603,10 +742,11 @@ let write_json ~mode ~jobs rows sp scaling fo profile path =
     (fun i (s : speedup) ->
       p
         "    {\"workload\": \"%s\", \"active_ns\": %s, \"reference_ns\": %s, \
-         \"speedup\": %s}%s\n"
+         \"flat_ns\": %s, \"speedup\": %s, \"flat_speedup\": %s}%s\n"
         (json_escape s.workload) (json_float s.active_ns)
-        (json_float s.reference_ns)
+        (json_float s.reference_ns) (json_float s.flat_ns)
         (json_float (s.reference_ns /. s.active_ns))
+        (json_float (s.active_ns /. s.flat_ns))
         (if i = List.length sp - 1 then "" else ","))
     sp;
   p "  ],\n  \"parallel_scaling\": [\n";
@@ -617,13 +757,29 @@ let write_json ~mode ~jobs rows sp scaling fo profile path =
         (json_escape s.workload) s.check;
       List.iteri
         (fun j (jobs, ns) ->
-          p "%s{\"jobs\": %d, \"wall_ns\": %s, \"speedup_vs_j1\": %s}"
+          p
+            "%s{\"jobs\": %d, \"wall_ns\": %s, \"speedup_vs_j1\": %s, \
+             \"saturated\": %b}"
             (if j = 0 then "" else ", ")
             jobs (json_float ns)
-            (json_float (base /. ns)))
+            (json_float (base /. ns))
+            (saturated ~jobs))
         s.runs;
       p "]}%s\n" (if i = List.length scaling - 1 then "" else ","))
     scaling;
+  p "  ],\n  \"flat_engine\": [\n";
+  List.iteri
+    (fun i f ->
+      p
+        "    {\"workload\": \"bfs path\", \"n\": %d, \"jobs\": %d, \
+         \"rounds\": %d, \"wall_ns\": %s, \"rounds_per_sec\": %s, \
+         \"minor_words_per_round\": %s, \"speedup_vs_active\": %s}%s\n"
+        f.fl_n f.fl_jobs f.fl_rounds (json_float f.fl_wall_ns)
+        (json_float f.fl_rps)
+        (json_float f.fl_words_per_round)
+        (json_float f.fl_speedup)
+        (if i = List.length flat - 1 then "" else ","))
+    flat;
   p "  ],\n  \"fault_overhead\": [\n";
   List.iteri
     (fun i f ->
@@ -661,9 +817,11 @@ let run ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_speedups sp;
   let scaling = measure_scaling () in
   print_scaling scaling;
+  let flat = measure_flat () in
+  print_flat flat;
   let fo = fault_overhead () in
   print_fault_overhead fo;
-  write_json ~mode:"micro" ~jobs rows sp scaling fo (phase_profile ()) out
+  write_json ~mode:"micro" ~jobs rows sp scaling fo flat (phase_profile ()) out
 
 let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   Format.printf "@.=== Simulator smoke benchmarks (CI) ===@.";
@@ -673,6 +831,8 @@ let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_speedups sp;
   let scaling = measure_scaling () in
   print_scaling scaling;
+  let flat = measure_flat () in
+  print_flat flat;
   let fo = fault_overhead () in
   print_fault_overhead fo;
-  write_json ~mode:"smoke" ~jobs rows sp scaling fo (phase_profile ()) out
+  write_json ~mode:"smoke" ~jobs rows sp scaling fo flat (phase_profile ()) out

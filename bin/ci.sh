@@ -43,6 +43,11 @@ mkdir -p "$scratch"
 # divergence, the timeout catches a retransmit livelock.
 with_timeout 300 dune exec bench/main.exe -- chaos
 
+# Flat-engine smoke: stock workloads through the flat-core engine must
+# reproduce the active engine's states, trees and stats exactly (the
+# standalone counterpart of the qcheck differential suite).
+with_timeout 300 dune exec bench/main.exe -- flatcheck
+
 with_timeout 600 dune exec bench/main.exe -- smoke --jobs 1 --out "$scratch/bench_j1.json"
 with_timeout 600 dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/bench_j2.json"
 
@@ -50,7 +55,7 @@ with_timeout 600 dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/benc
 # (jobs, utc_date); everything left must match exactly.
 strip_timing() {
   sed -E \
-    -e 's/"(ns_per_run|r_square|minor_words_per_run|rounds_per_sec|active_ns|reference_ns|speedup_vs_j1|speedup|wall_ns)": [^,}]*/"\1": _/g' \
+    -e 's/"(ns_per_run|r_square|minor_words_per_run|minor_words_per_round|rounds_per_sec|active_ns|reference_ns|flat_ns|flat_speedup|speedup_vs_j1|speedup_vs_active|speedup|wall_ns)": [^,}]*/"\1": _/g' \
     -e 's/"(utc_date|jobs)": [^,}]*/"\1": _/g' \
     "$1"
 }
@@ -61,6 +66,38 @@ if ! diff -u "$scratch/bench_j1.flat" "$scratch/bench_j2.flat"; then
   exit 1
 fi
 echo "ci: smoke bench is jobs-invariant"
+
+# GC gate: the flat engine's steady-state allocation must not regress.
+# Compares the fresh smoke run's flat_engine n=256/jobs=1 minor-words
+# figure against the committed BENCH_sim.json; >20% (plus a small
+# absolute slack for noise at these tiny values) fails the build.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_sim.json "$scratch/bench_j1.json" <<'EOF'
+import json, sys
+def words(path):
+    try:
+        d = json.load(open(path))
+    except OSError:
+        return None
+    for r in d.get("flat_engine", []):
+        if r["n"] == 256 and r["jobs"] == 1:
+            return r["minor_words_per_round"]
+    return None
+base, fresh = words(sys.argv[1]), words(sys.argv[2])
+assert fresh is not None, "fresh smoke bench has no flat_engine n=256 jobs=1 row"
+if base is None:
+    print("ci: no committed flat_engine baseline; skipping GC gate")
+elif fresh > base * 1.2 + 8.0:
+    raise SystemExit(
+        "ci: flat-engine GC regression: %.1f minor words/round vs committed %.1f"
+        % (fresh, base))
+else:
+    print("ci: flat-engine GC gate ok (%.1f words/round, committed %.1f)"
+          % (fresh, base))
+EOF
+else
+  echo "ci: python3 not found; skipping flat-engine GC gate" >&2
+fi
 
 # Trace smoke: a small solve with --trace must emit Chrome trace_event JSON
 # that parses and contains complete ("ph": "X") spans covering at least 4

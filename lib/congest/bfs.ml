@@ -55,6 +55,61 @@ let protocol ~root : (state, msg) Sim.protocol =
       wake = Some Sim.never;
   }
 
+(* Native flat-engine BFS (see {!Sim.flat_protocol}): the same wavefront
+   as [protocol], with the whole node state packed into one immediate int
+   so the flat engine's steady-state loop allocates nothing.
+
+   Encoding: -1 = unreached; otherwise
+   [((parent + 1) * (n + 1) + depth) * 2 + announced], with parent = -1 at
+   the root.  Unlike [protocol] — whose unreached nodes report not-done
+   and are therefore stepped every round — unreached nodes here report
+   done and are woken by arriving mail, so the sparse scheduler keeps the
+   active list at the wavefront.  Quiescence round, messages, bits, and
+   the resulting tree are unchanged (the differential suite checks this);
+   only the stepped/telemetry series shrink. *)
+let flat_protocol ~root : (int, int) Sim.flat_protocol =
+  {
+    fp_init = (fun view -> if view.Sim.node = root then 0 else -1);
+    fp_step =
+      (fun view ~round:_ st ~inbox ~emit ->
+        let n1 = view.Sim.n + 1 in
+        let st =
+          if st = -1 then begin
+            (* Join the tree via the smallest-id sender in this inbox. *)
+            let k = Sim.inbox_len inbox in
+            if k = 0 then st
+            else begin
+              let best_s = ref (Sim.inbox_src inbox 0) in
+              let best_d = ref (Sim.inbox_msg inbox 0) in
+              for i = 1 to k - 1 do
+                let s = Sim.inbox_src inbox i in
+                if s < !best_s then begin
+                  best_s := s;
+                  best_d := Sim.inbox_msg inbox i
+                end
+              done;
+              ((!best_s + 1) * n1 + (!best_d + 1)) * 2
+            end
+          end
+          else st
+        in
+        if st >= 0 && st land 1 = 0 then begin
+          let depth = st / 2 mod n1 in
+          Array.iter (fun (nb, _, _) -> emit ~dst:nb depth) view.Sim.nbrs;
+          st lor 1
+        end
+        else st);
+    fp_is_done = (fun st -> st = -1 || st land 1 = 1);
+    fp_msg_bits = (fun d -> Bitsize.int_bits (max d 1));
+    fp_wake = Some Sim.never;
+  }
+
+let flat_state_parent_depth ~n st =
+  if st = -1 then None
+  else
+    let pd = st / 2 in
+    Some ((pd / (n + 1)) - 1, pd mod (n + 1))
+
 let build ?observer ?telemetry g ~root =
   let n = Graph.n g in
   (* Precondition check: on a disconnected graph the flood never reaches

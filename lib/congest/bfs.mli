@@ -20,6 +20,19 @@ val protocol : root:int -> (state, msg) Sim.protocol
     smallest-id neighbor heard from in the {e first} round a Join
     arrives. *)
 
+val flat_protocol : root:int -> (int, int) Sim.flat_protocol
+(** The same wavefront as {!protocol}, written natively against the
+    flat-core engine: node state is one immediate int, messages are bare
+    depths, and unreached nodes report done until mail arrives (so the
+    sparse scheduler only ever steps the wavefront).  Quiescence round,
+    messages, bits, and the resulting tree match {!protocol}; it is the
+    zero-allocation exemplar the flat-engine benchmarks run. *)
+
+val flat_state_parent_depth : n:int -> int -> (int * int) option
+(** Decodes a {!flat_protocol} state into [(parent, depth)]; [None] if
+    the node was never reached.  [n] is the node count of the graph the
+    state came from. *)
+
 val build :
   ?observer:Sim.observer ->
   ?telemetry:Telemetry.t ->

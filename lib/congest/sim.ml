@@ -130,28 +130,55 @@ let buf_drain b =
   b.len <- 0;
   l
 
+(* Growable int buffer, shared by the traffic ring below and the flat
+   engine's per-domain logs (send log, touched CSR positions,
+   undone/recipient candidate lists). *)
+type ibuf = { mutable ia : int array; mutable ilen : int }
+
+let ibuf_make () = { ia = Array.make 16 0; ilen = 0 }
+
+let ibuf_push b x =
+  if b.ilen = Array.length b.ia then begin
+    let a = Array.make (2 * b.ilen) 0 in
+    Array.blit b.ia 0 a 0 b.ilen;
+    b.ia <- a
+  end;
+  b.ia.(b.ilen) <- x;
+  b.ilen <- b.ilen + 1
+
 (* Ring buffer of the last [postmortem_window] rounds of raw (src, dst,
-   bits) traffic, kept by both engines so a {!Round_limit} abort can dump
-   where the messages were flowing when the protocol span out.  One
-   amortized-O(1) push per message; slots are recycled in place. *)
+   bits) traffic, kept by all engines so a {!Round_limit} abort can dump
+   where the messages were flowing when the protocol span out.  Parallel
+   flat int buffers — three amortized-O(1) unboxed pushes per message, so
+   keeping the ring armed costs the flat engine's steady-state loop no
+   allocation; slots are recycled in place. *)
 type traffic_ring = {
   slot_round : int array; (* round stored in each slot; -1 = empty *)
-  slots : (int * int) inbox_buf array; (* (src, (dst, bits)) *)
+  r_src : ibuf array;
+  r_dst : ibuf array;
+  r_bits : ibuf array;
 }
 
 let ring_make () =
   {
     slot_round = Array.make postmortem_window (-1);
-    slots = Array.init postmortem_window (fun _ -> buf_make ());
+    r_src = Array.init postmortem_window (fun _ -> ibuf_make ());
+    r_dst = Array.init postmortem_window (fun _ -> ibuf_make ());
+    r_bits = Array.init postmortem_window (fun _ -> ibuf_make ());
   }
 
 let ring_begin_round ring ~round =
   let i = round mod postmortem_window in
   ring.slot_round.(i) <- round;
-  ring.slots.(i).len <- 0
+  ring.r_src.(i).ilen <- 0;
+  ring.r_dst.(i).ilen <- 0;
+  ring.r_bits.(i).ilen <- 0
 
 let ring_push ring ~round ~src ~dst ~bits =
-  buf_push ring.slots.(round mod postmortem_window) (src, (dst, bits))
+  let i = round mod postmortem_window in
+  ibuf_push ring.r_src.(i) src;
+  ibuf_push ring.r_dst.(i) dst;
+  ibuf_push ring.r_bits.(i) bits
 
 let ring_dump ring =
   let rounds =
@@ -161,11 +188,12 @@ let ring_dump ring =
   in
   List.map
     (fun r ->
-      let b = ring.slots.(r mod postmortem_window) in
+      let i = r mod postmortem_window in
+      let srcs = ring.r_src.(i) and dsts = ring.r_dst.(i) in
+      let bits = ring.r_bits.(i) in
       let msgs = ref [] in
-      for i = b.len - 1 downto 0 do
-        let src, (dst, bits) = b.data.(i) in
-        msgs := (src, dst, bits) :: !msgs
+      for j = srcs.ilen - 1 downto 0 do
+        msgs := (srcs.ia.(j), dsts.ia.(j), bits.ia.(j)) :: !msgs
       done;
       r, !msgs)
     rounds
@@ -294,6 +322,528 @@ let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto =
    engine. *)
 let use_reference_engine = ref false [@@lint.allow "global-state"]
 
+(* ------------------------------------------------------------------ *)
+(* Flat-core engine: arena message slots over the CSR graph view, with
+   optional domain-partitioned execution of a single run.
+
+   Layout (see DESIGN.md, "Engine architecture"):
+
+   - messages live in [mbuf] arenas: parallel (srcs : int array,
+     msgs : 'm array) pairs that grow once and are recycled by resetting
+     the length, so the steady-state round loop allocates nothing for
+     unboxed ('m = int) protocols;
+   - per-round per-(edge, direction) bits live in a flat array indexed by
+     *CSR position* (the sender's directed slot), each position owned by
+     exactly one sender and hence by exactly one domain — race-free;
+   - sends are staged per (destination, domain) and merged at the round
+     barrier in domain order; because domains own contiguous ascending
+     node blocks, the merge restores the exact global send order (sender
+     ascending, outbox order within a sender) of the single-threaded
+     engines, which is what makes the engine bit-identical for any
+     [jobs];
+   - observer calls and post-mortem ring pushes are replayed at the
+     barrier from per-domain send logs, again in domain = node order. *)
+
+type 'm mbuf = {
+  mutable srcs : int array;
+  mutable msgs : 'm array;
+  mutable mlen : int;
+}
+
+type 'm inbox = 'm mbuf
+
+let inbox_len b = b.mlen
+
+let inbox_src b i =
+  if i < 0 || i >= b.mlen then invalid_arg "Sim.inbox_src";
+  (Array.unsafe_get b.srcs i [@lint.allow "unsafe-array"])
+
+let inbox_msg b i =
+  if i < 0 || i >= b.mlen then invalid_arg "Sim.inbox_msg";
+  (Array.unsafe_get b.msgs i [@lint.allow "unsafe-array"])
+
+let mbuf_make () = { srcs = [||]; msgs = [||]; mlen = 0 }
+
+(* The pushed message seeds the first allocation of [msgs], the same trick
+   [inbox_buf] uses: no dummy 'm value is ever needed. *)
+let mbuf_push b src msg =
+  let cap = Array.length b.srcs in
+  if b.mlen = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let s = Array.make ncap 0 in
+    Array.blit b.srcs 0 s 0 b.mlen;
+    b.srcs <- s;
+    let q = Array.make ncap msg in
+    Array.blit b.msgs 0 q 0 b.mlen;
+    b.msgs <- q
+  end;
+  b.srcs.(b.mlen) <- src;
+  b.msgs.(b.mlen) <- msg;
+  b.mlen <- b.mlen + 1
+
+let mbuf_append ~into b =
+  for i = 0 to b.mlen - 1 do
+    mbuf_push into b.srcs.(i) b.msgs.(i)
+  done
+
+type ('s, 'm) flat_protocol = {
+  fp_init : view -> 's;
+  fp_step :
+    view -> round:int -> 's -> inbox:'m inbox -> emit:(dst:int -> 'm -> unit)
+    -> 's;
+  fp_is_done : 's -> bool;
+  fp_msg_bits : 'm -> int;
+  fp_wake : (view -> round:int -> 's -> bool) option;
+}
+
+let inbox_list b =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((b.srcs.(i), b.msgs.(i)) :: acc)
+  in
+  go (b.mlen - 1) []
+
+(* Boxed fallback: adapts a list-based protocol to the flat engine.  Each
+   step rebuilds the inbox list and walks the outbox list, so it keeps the
+   seed's allocation profile per *active* node — polymorphic-message
+   protocols still gain the active-list and arena-delivery savings. *)
+let flat_of_protocol p =
+  {
+    fp_init = p.init;
+    fp_step =
+      (fun view ~round s ~inbox ~emit ->
+        let s', outbox = p.step view ~round s ~inbox:(inbox_list inbox) in
+        List.iter (fun (dst, msg) -> emit ~dst msg) outbox;
+        s');
+    fp_is_done = p.is_done;
+    fp_msg_bits = p.msg_bits;
+    fp_wake = p.wake;
+  }
+
+(* Per-domain accumulators, merged (and reset) at each round barrier. *)
+type scratch = {
+  mutable s_messages : int;
+  mutable s_bits : int;
+  mutable s_dropped : int;
+  mutable s_duplicated : int;
+  mutable s_stepped : int;
+  mutable s_delivered : int;
+  mutable s_wake_hits : int;
+  mutable s_done_delta : int;
+  mutable s_sent_any : bool;
+  mutable s_cur_src : int;  (* node being stepped, read by [emit] *)
+  log_src : ibuf;
+  log_dst : ibuf;
+  log_bits : ibuf;
+  s_touched : ibuf;
+  s_undone : ibuf;
+  s_recip : ibuf;
+}
+
+let scratch_make () =
+  {
+    s_messages = 0;
+    s_bits = 0;
+    s_dropped = 0;
+    s_duplicated = 0;
+    s_stepped = 0;
+    s_delivered = 0;
+    s_wake_hits = 0;
+    s_done_delta = 0;
+    s_sent_any = false;
+    s_cur_src = -1;
+    log_src = ibuf_make ();
+    log_dst = ibuf_make ();
+    log_bits = ibuf_make ();
+    s_touched = ibuf_make ();
+    s_undone = ibuf_make ();
+    s_recip = ibuf_make ();
+  }
+
+let scratch_reset s =
+  s.s_messages <- 0;
+  s.s_bits <- 0;
+  s.s_dropped <- 0;
+  s.s_duplicated <- 0;
+  s.s_stepped <- 0;
+  s.s_delivered <- 0;
+  s.s_wake_hits <- 0;
+  s.s_done_delta <- 0;
+  s.s_sent_any <- false;
+  s.log_src.ilen <- 0;
+  s.log_dst.ilen <- 0;
+  s.log_bits.ilen <- 0;
+  s.s_touched.ilen <- 0;
+  s.s_undone.ilen <- 0;
+  s.s_recip.ilen <- 0
+
+(* In-place ascending sort of [a.(0 .. len - 1)]: insertion sort below a
+   small cutoff, median-of-three quicksort above.  Avoids [Array.sort]'s
+   whole-array constraint (the candidate buffer has a live prefix) and its
+   closure call per comparison. *)
+let sort_int_prefix a len =
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec qsort lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi) < a.(lo) then swap hi lo;
+      if a.(hi) < a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do incr i done;
+        while a.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+  in
+  if len > 1 then qsort 0 (len - 1)
+
+(* First index in the sorted prefix [a.(0 .. len - 1)] holding a value
+   >= [x] (the per-domain segment bounds in the active list). *)
+let lower_bound a len x =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
+    g fp =
+  let obs = effective_observer per_run in
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 10_000 + (200 * n)
+  in
+  let jobs = max 1 (min jobs n) in
+  let views =
+    Array.init n (fun node -> { node; n; nbrs = Graph.adj g node })
+  in
+  let states = Array.map fp.fp_init views in
+  let budget = Dsf_util.Bitsize.congest_budget ~n in
+  let edge_bits = Array.make (2 * m) (-1) in
+  let inboxes = Array.init n (fun _ -> mbuf_make ()) in
+  let stage = Array.init jobs (fun _ -> Array.init n (fun _ -> mbuf_make ())) in
+  let scr = Array.init jobs (fun _ -> scratch_make ()) in
+  let done_flag = Array.map fp.fp_is_done states in
+  let done_count = ref 0 in
+  Array.iter (fun d -> if d then incr done_count) done_flag;
+  let messages = ref 0 in
+  let total_bits = ref 0 in
+  let max_edge_round_bits = ref 0 in
+  let budget_violations = ref 0 in
+  let dropped = ref 0 in
+  let duplicated = ref 0 in
+  let round = ref 0 in
+  let quiescent = ref false in
+  let ring = ring_make () in
+  (match faults with Some f -> f.retransmissions := 0 | None -> ());
+  let current_stats () =
+    {
+      rounds = !round;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_edge_round_bits = !max_edge_round_bits;
+      budget_violations = !budget_violations;
+      dropped = !dropped;
+      duplicated = !duplicated;
+      retransmissions =
+        (match faults with Some f -> !(f.retransmissions) | None -> 0);
+    }
+  in
+  (* Domain [d] owns the contiguous node block [dom_lo.(d), dom_lo.(d+1)). *)
+  let dom_lo = Array.init (jobs + 1) (fun d -> d * n / jobs) in
+  let dom_ids = Array.init jobs Fun.id in
+  let has_faults = Option.is_some faults in
+  let wake_is_some = Option.is_some fp.fp_wake in
+  (* Scheduling modes.  [sparse]: wake is physically [never] and no faults
+     — the active set is exactly (mail recipients U stepped-and-not-done),
+     maintained incrementally, so idle rounds cost O(active) not O(n).
+     [sweep_all]: wake is [None] — every node steps every round, no list
+     needed.  Otherwise a full-range criterion sweep per round, matching
+     the active engine (a crash-restart or an arbitrary wake hook can
+     activate any idle node). *)
+  let sparse =
+    (not has_faults)
+    && (match fp.fp_wake with Some f -> f == never | None -> false)
+  in
+  let sweep_all = (not has_faults) && not wake_is_some in
+  let down_now = if has_faults then Array.make n false else [||] in
+  let was_down = if has_faults then Array.make n false else [||] in
+  let act = Array.make (max 1 n) 0 in
+  let und = Array.make (max 1 n) 0 in
+  let rcp = Array.make (max 1 n) 0 in
+  let n_act = ref 0 in
+  let cand_stamp = Array.make n (-1) in
+  if sparse then
+    for v = 0 to n - 1 do
+      if not done_flag.(v) then begin
+        act.(!n_act) <- v;
+        incr n_act
+      end
+    done;
+  let emit_for d =
+    let s = scr.(d) in
+    let stage_d = stage.(d) in
+    let deliver src dst msg =
+      let mb = stage_d.(dst) in
+      if mb.mlen = 0 then ibuf_push s.s_recip dst;
+      mbuf_push mb src msg
+    in
+    fun ~dst msg ->
+      let src = s.s_cur_src in
+      if dst < 0 || dst >= n then
+        invalid_arg "Sim.run: message to nonexistent node";
+      let p = Graph.csr_pos g ~src ~dst in
+      if p < 0 then invalid_arg "Sim.run: message to non-neighbor";
+      s.s_sent_any <- true;
+      s.s_messages <- s.s_messages + 1;
+      let bits = fp.fp_msg_bits msg in
+      s.s_bits <- s.s_bits + bits;
+      ibuf_push s.log_src src;
+      ibuf_push s.log_dst dst;
+      ibuf_push s.log_bits bits;
+      let prev = edge_bits.(p) in
+      if prev < 0 then begin
+        ibuf_push s.s_touched p;
+        edge_bits.(p) <- bits
+      end
+      else edge_bits.(p) <- prev + bits;
+      match faults with
+      | None -> deliver src dst msg
+      | Some f -> (
+          match f.on_send ~round:!round ~src ~dst with
+          | Deliver -> deliver src dst msg
+          | Drop -> s.s_dropped <- s.s_dropped + 1
+          | Replicate k ->
+              for _ = 1 to k do
+                deliver src dst msg
+              done;
+              s.s_duplicated <- s.s_duplicated + (k - 1))
+  in
+  let emits = Array.init jobs emit_for in
+  let step_node d v =
+    let s = scr.(d) in
+    let ib = inboxes.(v) in
+    s.s_stepped <- s.s_stepped + 1;
+    s.s_delivered <- s.s_delivered + ib.mlen;
+    s.s_cur_src <- v;
+    let st' =
+      fp.fp_step views.(v) ~round:!round states.(v) ~inbox:ib ~emit:emits.(d)
+    in
+    ib.mlen <- 0;
+    states.(v) <- st';
+    let dn = fp.fp_is_done st' in
+    if dn <> done_flag.(v) then begin
+      done_flag.(v) <- dn;
+      s.s_done_delta <- s.s_done_delta + (if dn then 1 else -1)
+    end;
+    if sparse && not dn then ibuf_push s.s_undone v
+  in
+  let do_domain d =
+    let lo = dom_lo.(d) and hi = dom_lo.(d + 1) in
+    (match faults with
+    | None -> ()
+    | Some f ->
+        let s = scr.(d) in
+        for v = lo to hi - 1 do
+          let dn = f.down ~round:!round ~node:v in
+          down_now.(v) <- dn;
+          if dn then begin
+            (* Mail delivered to a crashed node is lost. *)
+            if inboxes.(v).mlen > 0 then begin
+              s.s_dropped <- s.s_dropped + inboxes.(v).mlen;
+              inboxes.(v).mlen <- 0
+            end;
+            was_down.(v) <- true
+          end
+          else if was_down.(v) then begin
+            (* First round back up: restart from a fresh initial state. *)
+            was_down.(v) <- false;
+            states.(v) <- fp.fp_init views.(v);
+            let dflag = fp.fp_is_done states.(v) in
+            if dflag <> done_flag.(v) then begin
+              done_flag.(v) <- dflag;
+              s.s_done_delta <- s.s_done_delta + (if dflag then 1 else -1)
+            end
+          end
+        done);
+    if sparse then begin
+      let slo = lower_bound act !n_act lo
+      and shi = lower_bound act !n_act hi in
+      for i = slo to shi - 1 do
+        step_node d act.(i)
+      done
+    end
+    else if sweep_all then
+      for v = lo to hi - 1 do
+        step_node d v
+      done
+    else begin
+      let s = scr.(d) in
+      for v = lo to hi - 1 do
+        let crashed = has_faults && down_now.(v) in
+        let has_mail = inboxes.(v).mlen > 0 in
+        let active =
+          (not crashed)
+          && (has_mail
+             || (not done_flag.(v))
+             ||
+             match fp.fp_wake with
+             | None -> true
+             | Some f -> f views.(v) ~round:!round states.(v))
+        in
+        if active then begin
+          if wake_is_some && (not has_mail) && done_flag.(v) then
+            s.s_wake_hits <- s.s_wake_hits + 1;
+          step_node d v
+        end
+      done
+    end
+  in
+  while not !quiescent do
+    if !round >= max_rounds then begin
+      let snapshot = current_stats () in
+      tel_finish telemetry snapshot;
+      abort_run ~round:!round ~snapshot ring
+    end;
+    ring_begin_round ring ~round:!round;
+    if jobs = 1 then do_domain 0
+    else ignore (Dsf_util.Pool.map_chunked ~jobs do_domain dom_ids);
+    (* Sequential merge at the barrier, in domain = node order, restoring
+       the single-threaded engines' exact global send order. *)
+    let bits0 = !total_bits in
+    let stepped = ref 0 and delivered = ref 0 and wake_hits = ref 0 in
+    let sent_any = ref false in
+    for d = 0 to jobs - 1 do
+      let s = scr.(d) in
+      for i = 0 to s.log_src.ilen - 1 do
+        let src = s.log_src.ia.(i)
+        and dst = s.log_dst.ia.(i)
+        and bits = s.log_bits.ia.(i) in
+        (match obs with Some f -> f ~src ~dst ~bits | None -> ());
+        ring_push ring ~round:!round ~src ~dst ~bits
+      done;
+      messages := !messages + s.s_messages;
+      total_bits := !total_bits + s.s_bits;
+      dropped := !dropped + s.s_dropped;
+      duplicated := !duplicated + s.s_duplicated;
+      stepped := !stepped + s.s_stepped;
+      delivered := !delivered + s.s_delivered;
+      wake_hits := !wake_hits + s.s_wake_hits;
+      done_count := !done_count + s.s_done_delta;
+      if s.s_sent_any then sent_any := true;
+      for i = 0 to s.s_touched.ilen - 1 do
+        let p = s.s_touched.ia.(i) in
+        let bits = edge_bits.(p) in
+        if bits > !max_edge_round_bits then max_edge_round_bits := bits;
+        if bits > budget then incr budget_violations;
+        edge_bits.(p) <- -1
+      done
+    done;
+    (* Deliver staged mail and collect next round's active candidates:
+       the still-undone nodes (already ascending — each domain's list is
+       ascending and domains own ascending blocks) and the mail
+       recipients (stamp-deduplicated, sorted, then merged). *)
+    let nund = ref 0 and nrcp = ref 0 in
+    (* All undone nodes must be stamped before any recipient is examined:
+       a recipient in a *later* domain's undone list would otherwise be
+       double-entered (once as mail recipient, once as undone). *)
+    if sparse then
+      for d = 0 to jobs - 1 do
+        let s = scr.(d) in
+        for i = 0 to s.s_undone.ilen - 1 do
+          let v = s.s_undone.ia.(i) in
+          cand_stamp.(v) <- !round;
+          und.(!nund) <- v;
+          incr nund
+        done
+      done;
+    for d = 0 to jobs - 1 do
+      let s = scr.(d) in
+      let stage_d = stage.(d) in
+      for i = 0 to s.s_recip.ilen - 1 do
+        let dst = s.s_recip.ia.(i) in
+        let mb = stage_d.(dst) in
+        mbuf_append ~into:inboxes.(dst) mb;
+        mb.mlen <- 0;
+        if sparse && cand_stamp.(dst) <> !round then begin
+          cand_stamp.(dst) <- !round;
+          rcp.(!nrcp) <- dst;
+          incr nrcp
+        end
+      done;
+      scratch_reset s
+    done;
+    if sparse then begin
+      sort_int_prefix rcp !nrcp;
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < !nund && !j < !nrcp do
+        let x = und.(!i) and y = rcp.(!j) in
+        if x < y then begin
+          act.(!k) <- x;
+          incr i
+        end
+        else begin
+          act.(!k) <- y;
+          incr j
+        end;
+        incr k
+      done;
+      while !i < !nund do
+        act.(!k) <- und.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < !nrcp do
+        act.(!k) <- rcp.(!j);
+        incr j;
+        incr k
+      done;
+      n_act := !k
+    end;
+    (match telemetry with
+    | Some t ->
+        Telemetry.sim_round t ~stepped:!stepped ~delivered:!delivered
+          ~bits:(!total_bits - bits0) ~wake_hits:!wake_hits
+    | None -> ());
+    incr round;
+    let halted = match halt with Some f -> f states | None -> false in
+    quiescent := halted || ((!done_count = n) && not !sent_any)
+  done;
+  let final = current_stats () in
+  tel_finish telemetry final;
+  states, final
+
+(* Deprecated global shim, same contract as [use_reference_engine]: lets
+   the differential suite and the microbenchmarks drive whole algorithm
+   entry points through the flat engine without threading a parameter. *)
+let use_flat_engine = ref false [@@lint.allow "global-state"]
+
 (* Active-set engine.  Per-round work is proportional to the number of
    *active* nodes and the messages they send, plus an O(n) sweep of three
    boolean tests per idle node, instead of the seed's full [step] of every
@@ -319,17 +869,24 @@ let use_reference_engine = ref false [@@lint.allow "global-state"]
    in flight, [Replicate k] delivers [k] copies; a [down] node is not
    stepped and mail arriving at it is destroyed (counted as dropped); on
    the first round a node is back up, its state is reset to [init]. *)
-let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry g
-    proto =
+let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
+    ?flat ?(jobs = 1) g proto =
   let reference =
     match reference with Some b -> b | None -> !use_reference_engine
   in
+  let flat = match flat with Some b -> b | None -> !use_flat_engine in
   if reference then begin
+    (* Engine precedence: reference > flat > active; [?reference:true]
+       wins over the flat shim so existing differential helpers keep
+       working with either shim set. *)
     (match faults with
     | Some _ -> invalid_arg "Sim.run: ?faults requires the active engine"
     | None -> ());
     run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto
   end
+  else if flat then
+    run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ~jobs g
+      (flat_of_protocol proto)
   else begin
     let obs = effective_observer per_run in
     let n = Graph.n g in

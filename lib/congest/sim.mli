@@ -170,6 +170,101 @@ val with_observer : observer -> (unit -> 'a) -> 'a
     keeps seeing the traffic — and restores the previous observer on
     exit.  Single-domain use only; prefer [?observer] on {!run}. *)
 
+(** {2 The flat-core engine}
+
+    A third engine built on the {!Dsf_graph.Graph.csr} view: message
+    traffic lives in preallocated {e arena} buffers (parallel
+    [int array] / ['m array] pairs grown once and recycled by length
+    reset), per-round per-(edge, direction) bit accounting is a flat
+    array indexed by CSR position, and a protocol whose [wake] is
+    physically {!never} is scheduled from an incrementally-maintained
+    sorted active list, so an idle round costs O(active nodes) instead of
+    the active engine's O(n) criterion sweep.  For ['m = int] protocols
+    written against the native {!flat_protocol} interface the
+    steady-state round loop allocates nothing.
+
+    A single run can additionally be partitioned across [jobs] domains of
+    the {!Dsf_util.Pool}: each domain owns a contiguous ascending block
+    of nodes, steps its block between two barriers per round, and stages
+    its sends per destination; the coordinator merges staged mail, send
+    logs (observer calls, post-mortem ring), counters, and bit accounting
+    {e in domain = node order} at the barrier.  Because the merge order
+    equals the global send order of the single-threaded engines, results
+    are bit-identical for any [jobs] — the jobs-invariance property in
+    [test_sim_equiv] pins this.  Caveats: [jobs > 1] must not be used
+    from inside an existing pool fan-out (the per-round batch would raise
+    {!Dsf_util.Pool.Nested_use}), and hardened protocols that bump the
+    faults record's [retransmissions] counter from inside [step] must run
+    with [jobs = 1] (the counter is not domain-safe).
+
+    On an error raised by a step (e.g. a message to a non-neighbor) the
+    flat engine propagates the same exception as the active engine, but
+    observer calls of the failing round are not made (they are replayed
+    at the barrier, which the error never reaches) — engines diverge only
+    on that error path. *)
+
+type 'm inbox
+(** The mail delivered to a node this round, in arrival order (identical
+    to the list the active engine would hand [step]).  A read-only view
+    into a recycled arena buffer: valid only during the [fp_step] call it
+    was passed to. *)
+
+val inbox_len : 'm inbox -> int
+val inbox_src : 'm inbox -> int -> int
+(** Sender of the [i]-th message; raises [Invalid_argument] out of range. *)
+
+val inbox_msg : 'm inbox -> int -> 'm
+(** Payload of the [i]-th message; raises [Invalid_argument] out of range. *)
+
+val inbox_list : 'm inbox -> (int * 'm) list
+(** The inbox as the active engine's [(sender, message)] list (allocates;
+    the convenience bridge for incremental ports). *)
+
+type ('s, 'm) flat_protocol = {
+  fp_init : view -> 's;
+  fp_step :
+    view -> round:int -> 's -> inbox:'m inbox -> emit:(dst:int -> 'm -> unit)
+    -> 's;
+      (** Reads mail through the zero-copy [inbox] view and sends by
+          calling [emit] (one closure per domain per run — no outbox list
+          is ever built).  Same delivery semantics as {!protocol.step}:
+          messages emitted in round [r] arrive in round [r + 1]. *)
+  fp_is_done : 's -> bool;
+  fp_msg_bits : 'm -> int;
+  fp_wake : (view -> round:int -> 's -> bool) option;
+      (** Same contract as {!protocol.wake}.  Pass [Some never] (that
+          exact closure) to opt into the sparse active-list scheduler. *)
+}
+
+val flat_of_protocol : ('s, 'm) protocol -> ('s, 'm) flat_protocol
+(** Boxed fallback: adapts a list-based protocol to the flat engine by
+    materializing each inbox list and walking each outbox list.  Keeps
+    the per-active-node allocation profile but still gains arena delivery
+    and active-list scheduling. *)
+
+val run_flat :
+  ?max_rounds:int ->
+  ?halt:('s array -> bool) ->
+  ?observer:observer ->
+  ?faults:faults ->
+  ?telemetry:Telemetry.t ->
+  ?jobs:int ->
+  Dsf_graph.Graph.t ->
+  ('s, 'm) flat_protocol ->
+  's array * stats
+(** Runs a native flat protocol on the flat-core engine ([jobs] defaults
+    to 1; it is clamped to [1 .. n]).  Stats, final states, observer
+    traces, round counts, telemetry series, fault semantics, and
+    {!Round_limit} behavior are bit-identical to {!run} on the equivalent
+    list protocol — the differential suite enforces this with faults and
+    telemetry both on and off. *)
+
+val use_flat_engine : bool ref
+(** Deprecated global shim, mirror of {!use_reference_engine}: while
+    [true], {!run} (called without an explicit [?flat] or [?reference])
+    routes through the flat engine via {!flat_of_protocol}.  Same
+    single-domain-only contract as the other shims. *)
+
 val run :
   ?max_rounds:int ->
   ?halt:('s array -> bool) ->
@@ -177,6 +272,8 @@ val run :
   ?reference:bool ->
   ?faults:faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
@@ -199,7 +296,12 @@ val run :
     [observer] taps this run's messages (in addition to the global shim,
     which fires first when both are set).  [reference] selects the engine
     for this run only: [true] delegates to {!run_reference}; it defaults
-    to the {!use_reference_engine} shim (normally [false]).
+    to the {!use_reference_engine} shim (normally [false]).  [flat]
+    routes this run through the flat-core engine (via
+    {!flat_of_protocol}); it defaults to the {!use_flat_engine} shim.
+    Engine precedence is reference > flat > active.  [jobs] partitions a
+    flat run across pool domains (ignored by the other engines;
+    default 1).
 
     [telemetry] attributes the run to the enclosing {!Telemetry} span
     (final stats via [Telemetry.sim_run], including on a {!Round_limit}

@@ -1,46 +1,84 @@
 module Rng = Dsf_util.Rng
 
+(* Growable edge-triple buffer so generators of unknown output size build
+   O(m) arrays without intermediate lists.  [to_array_rev] reproduces the
+   cons-accumulated (most-recent-first) order the generators used
+   historically, so edge ids — and therefore every downstream RNG stream
+   and differential-test expectation — are unchanged. *)
+module Ebuf = struct
+  type t = { mutable a : (int * int * int) array; mutable len : int }
+
+  let create () = { a = Array.make 16 (0, 0, 0); len = 0 }
+
+  let push b u v w =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * b.len) (0, 0, 0) in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- (u, v, w);
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.a 0 b.len
+
+  let to_array_rev b = Array.init b.len (fun i -> b.a.(b.len - 1 - i))
+end
+
 let path n =
-  Graph.unweighted ~n (List.init (n - 1) (fun i -> i, i + 1))
+  Graph.unweighted_arr ~n (Array.init (n - 1) (fun i -> i, i + 1))
 
 let cycle n =
   assert (n >= 3);
-  Graph.unweighted ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> i, i + 1))
+  Graph.unweighted_arr ~n
+    (Array.init n (fun i -> if i = 0 then n - 1, 0 else i - 1, i))
 
 let star n =
   assert (n >= 2);
-  Graph.unweighted ~n (List.init (n - 1) (fun i -> 0, i + 1))
+  Graph.unweighted_arr ~n (Array.init (n - 1) (fun i -> 0, i + 1))
 
 let complete n =
-  let edges = ref [] in
+  let m = n * (n - 1) / 2 in
+  let edges = Array.make m (0, 0) in
+  let idx = ref m in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
+      decr idx;
+      edges.(!idx) <- (u, v)
     done
   done;
-  Graph.unweighted ~n !edges
+  Graph.unweighted_arr ~n edges
 
 let grid ~rows ~cols =
   let id r c = (r * cols) + c in
-  let edges = ref [] in
+  let m = (rows * (cols - 1)) + ((rows - 1) * cols) in
+  let edges = Array.make m (0, 0) in
+  let idx = ref m in
+  let put u v =
+    decr idx;
+    edges.(!idx) <- (u, v)
+  in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
-      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+      if c + 1 < cols then put (id r c) (id r (c + 1));
+      if r + 1 < rows then put (id r c) (id (r + 1) c)
     done
   done;
-  Graph.unweighted ~n:(rows * cols) !edges
+  Graph.unweighted_arr ~n:(rows * cols) edges
 
 let binary_tree n =
   assert (n >= 2);
-  Graph.unweighted ~n (List.init (n - 1) (fun i -> (i + 1 - 1) / 2, i + 1))
+  Graph.unweighted_arr ~n (Array.init (n - 1) (fun i -> (i + 1 - 1) / 2, i + 1))
 
 let reweight rng ~max_w g =
-  let triples =
-    Array.to_list (Graph.edges g)
-    |> List.map (fun (e : Graph.edge) -> e.u, e.v, Rng.int_in rng 1 max_w)
-  in
-  Graph.make ~n:(Graph.n g) triples
+  let es = Graph.edges g in
+  let m = Array.length es in
+  let triples = Array.make m (0, 0, 0) in
+  (* Explicit loop: weight draws must happen in edge-id order. *)
+  for i = 0 to m - 1 do
+    let e = es.(i) in
+    triples.(i) <- (e.Graph.u, e.Graph.v, Rng.int_in rng 1 max_w)
+  done;
+  Graph.make_arr ~n:(Graph.n g) triples
 
 let random_connected rng ~n ~extra_edges ~max_w =
   assert (n >= 2);
@@ -67,23 +105,30 @@ let random_connected rng ~n ~extra_edges ~max_w =
     let u = Rng.int rng n and v = Rng.int rng n in
     if add u v then incr added
   done;
-  let triples =
-    Hashtbl.fold (fun (u, v) () acc -> (u, v, Rng.int_in rng 1 max_w) :: acc)
-      edges []
-  in
-  Graph.make ~n triples
+  (* Weight draws happen in fold order and placement runs backwards,
+     matching the cons-accumulated list this used historically. *)
+  let mcount = Hashtbl.length edges in
+  let triples = Array.make mcount (0, 0, 0) in
+  let idx = ref mcount in
+  Hashtbl.fold
+    (fun (u, v) () () ->
+      let w = Rng.int_in rng 1 max_w in
+      decr idx;
+      triples.(!idx) <- (u, v, w))
+    edges ();
+  Graph.make_arr ~n triples
 
 let clustered rng ~clusters ~cluster_size ~intra_extra ~bridges ~intra_w
     ~bridge_w =
   assert (clusters >= 1 && cluster_size >= 2);
   let n = clusters * cluster_size in
   let seen = Hashtbl.create (4 * n) in
-  let edges = ref [] in
+  let buf = Ebuf.create () in
   let add u v w =
     let key = min u v, max u v in
     if u <> v && not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
-      edges := (u, v, w) :: !edges;
+      Ebuf.push buf u v w;
       true
     end
     else false
@@ -119,7 +164,7 @@ let clustered rng ~clusters ~cluster_size ~intra_extra ~bridges ~intra_w
       if !added = 0 then ignore (add base next bridge_w)
     end
   done;
-  Graph.make ~n !edges
+  Graph.make_arr ~n (Ebuf.to_array_rev buf)
 
 let random_geometric rng ~n ~radius ~max_w =
   assert (n >= 2);
@@ -162,32 +207,45 @@ let random_geometric rng ~n ~radius ~max_w =
         add i j;
         ignore (Dsf_util.Union_find.union uf i j)
   done;
-  let triples = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) edges [] in
-  Graph.make ~n triples
+  let mcount = Hashtbl.length edges in
+  let triples = Array.make mcount (0, 0, 0) in
+  let idx = ref mcount in
+  Hashtbl.fold
+    (fun (u, v) w () ->
+      decr idx;
+      triples.(!idx) <- (u, v, w))
+    edges ();
+  Graph.make_arr ~n triples
 
 let lollipop ~clique ~tail =
   assert (clique >= 2);
   let n = clique + tail in
-  let edges = ref [] in
+  let m = (clique * (clique - 1) / 2) + tail in
+  let edges = Array.make m (0, 0) in
+  let idx = ref m in
+  let put u v =
+    decr idx;
+    edges.(!idx) <- (u, v)
+  in
   for u = 0 to clique - 1 do
     for v = u + 1 to clique - 1 do
-      edges := (u, v) :: !edges
+      put u v
     done
   done;
   for i = 0 to tail - 1 do
     let prev = if i = 0 then clique - 1 else clique + i - 1 in
-    edges := (prev, clique + i) :: !edges
+    put prev (clique + i)
   done;
-  Graph.unweighted ~n !edges
+  Graph.unweighted_arr ~n edges
 
 let broom ~tail ~arm_lengths =
   let hub = 0 in
-  let edges = ref [] in
+  let buf = Ebuf.create () in
   let next = ref 1 in
   (* Terminal-free tail. *)
   let prev = ref hub in
   for _ = 1 to tail do
-    edges := (!prev, !next, 1) :: !edges;
+    Ebuf.push buf !prev !next 1;
     prev := !next;
     incr next
   done;
@@ -198,7 +256,7 @@ let broom ~tail ~arm_lengths =
         let endpoint () =
           let p = ref hub in
           for _ = 1 to l do
-            edges := (!p, !next, 1) :: !edges;
+            Ebuf.push buf !p !next 1;
             p := !next;
             incr next
           done;
@@ -216,7 +274,9 @@ let broom ~tail ~arm_lengths =
       labels.(a) <- i;
       labels.(b) <- i)
     terminal_pairs;
-  Graph.make ~n (List.rev !edges), labels
+  (* [broom] historically built its list with a final [List.rev], so push
+     order here is already the edge-id order. *)
+  Graph.make_arr ~n (Ebuf.to_array buf), labels
 
 let random_labels rng ~n ~t ~k =
   assert (t <= n);

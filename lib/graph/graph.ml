@@ -1,14 +1,83 @@
 type edge = { u : int; v : int; w : int; id : int }
 
+(* Flat compressed-sparse-row mirror of the adjacency structure, built once
+   at construction.  Directed position p (one per edge direction, 2m total)
+   lives in its source node's row [off.(v) .. off.(v+1) - 1] and aligns
+   index-for-index with [adj v]: position [off.(v) + i] describes the same
+   incident edge as [(adj v).(i)].  [srt] stores each row's positions
+   re-sorted by neighbor id so (src, dst) -> position resolves by binary
+   search with no per-node hash tables. *)
+type csr = {
+  off : int array;
+  dst : int array;
+  wgt : int array;
+  eid : int array;
+  twin : int array;
+  srt : int array;
+}
+
 type t = {
   n : int;
   edges : edge array;
   adj : (int * int * int) array array;
+  csr : csr;
 }
 
-let make ~n edge_triples =
+let build_csr ~n edges adj =
+  let m = Array.length edges in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + Array.length adj.(v)
+  done;
+  let dst = Array.make (2 * m) 0 in
+  let wgt = Array.make (2 * m) 0 in
+  let eid = Array.make (2 * m) 0 in
+  let fill = Array.make n 0 in
+  (* Position of each edge in its u-row / v-row, for the twin pointers. *)
+  let upos = Array.make m 0 in
+  let vpos = Array.make m 0 in
+  Array.iter
+    (fun e ->
+      let pu = off.(e.u) + fill.(e.u) in
+      dst.(pu) <- e.v;
+      wgt.(pu) <- e.w;
+      eid.(pu) <- e.id;
+      upos.(e.id) <- pu;
+      fill.(e.u) <- fill.(e.u) + 1;
+      let pv = off.(e.v) + fill.(e.v) in
+      dst.(pv) <- e.u;
+      wgt.(pv) <- e.w;
+      eid.(pv) <- e.id;
+      vpos.(e.id) <- pv;
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  let twin = Array.make (2 * m) 0 in
+  for id = 0 to m - 1 do
+    twin.(upos.(id)) <- vpos.(id);
+    twin.(vpos.(id)) <- upos.(id)
+  done;
+  let srt = Array.init (2 * m) Fun.id in
+  for v = 0 to n - 1 do
+    let lo = off.(v) and hi = off.(v + 1) in
+    (* Insertion sort of the row's positions by neighbor id: rows are short
+       and already nearly sorted on most generators. *)
+    for i = lo + 1 to hi - 1 do
+      let p = srt.(i) in
+      let key = dst.(p) in
+      let j = ref (i - 1) in
+      while !j >= lo && dst.(srt.(!j)) > key do
+        srt.(!j + 1) <- srt.(!j);
+        decr j
+      done;
+      srt.(!j + 1) <- p
+    done
+  done;
+  { off; dst; wgt; eid; twin; srt }
+
+let make_arr ~n triples =
   if n <= 0 then invalid_arg "Graph.make: n must be positive";
-  let seen = Hashtbl.create (List.length edge_triples) in
+  let m = Array.length triples in
+  let seen = Hashtbl.create m in
   let check (u, v, w) =
     if u < 0 || u >= n || v < 0 || v >= n then
       invalid_arg "Graph.make: endpoint out of range";
@@ -18,10 +87,9 @@ let make ~n edge_triples =
     if Hashtbl.mem seen key then invalid_arg "Graph.make: duplicate edge";
     Hashtbl.add seen key ()
   in
-  List.iter check edge_triples;
+  Array.iter check triples;
   let edges =
-    Array.of_list
-      (List.mapi (fun id (u, v, w) -> { u; v; w; id }) edge_triples)
+    Array.mapi (fun id (u, v, w) -> { u; v; w; id }) triples
   in
   let deg = Array.make n 0 in
   Array.iter
@@ -38,9 +106,14 @@ let make ~n edge_triples =
       adj.(e.v).(fill.(e.v)) <- (e.u, e.w, e.id);
       fill.(e.v) <- fill.(e.v) + 1)
     edges;
-  { n; edges; adj }
+  { n; edges; adj; csr = build_csr ~n edges adj }
+
+let make ~n edge_triples = make_arr ~n (Array.of_list edge_triples)
 
 let unweighted ~n pairs = make ~n (List.map (fun (u, v) -> u, v, 1) pairs)
+
+let unweighted_arr ~n pairs =
+  make_arr ~n (Array.map (fun (u, v) -> u, v, 1) pairs)
 
 let n g = g.n
 let m g = Array.length g.edges
@@ -48,6 +121,28 @@ let edges g = g.edges
 let edge g id = g.edges.(id)
 let adj g v = g.adj.(v)
 let degree g v = Array.length g.adj.(v)
+
+let csr g = g.csr
+
+let csr_pos g ~src ~dst:d =
+  let c = g.csr in
+  if src < 0 || src >= g.n then -1
+  else begin
+    let lo = ref c.off.(src) and hi = ref (c.off.(src + 1) - 1) in
+    let found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let p = c.srt.(mid) in
+      let nb = c.dst.(p) in
+      if nb = d then begin
+        found := p;
+        lo := !hi + 1
+      end
+      else if nb < d then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end
 
 let max_degree g =
   let d = ref 0 in
@@ -73,9 +168,9 @@ let other_endpoint g ~eid v =
   end
 
 let find_edge g u v =
-  let best = ref None in
-  Array.iter (fun (nb, _, id) -> if nb = v then best := Some id) g.adj.(u);
-  !best
+  match csr_pos g ~src:u ~dst:v with
+  | -1 -> None
+  | p -> Some g.csr.eid.(p)
 
 let connected_components g =
   let uf = Dsf_util.Union_find.create g.n in

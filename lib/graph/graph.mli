@@ -13,13 +13,46 @@ type edge = private { u : int; v : int; w : int; id : int }
 
 type t
 
+(** {2 Flat CSR view}
+
+    A compressed-sparse-row mirror of the adjacency structure, built once at
+    construction and shared by every consumer (notably the flat simulator
+    engine's arena accounting).  Each of the [2m] {e directed positions}
+    describes one direction of one edge; position [p] lives in its source
+    node's row [off.(v) .. off.(v+1) - 1] and aligns index-for-index with
+    {!adj}: position [off.(v) + i] is [(adj g v).(i)].
+
+    The arrays are physically mutable (plain [int array]) but logically
+    immutable — treat them as read-only. *)
+type csr = {
+  off : int array;  (** row offsets, length [n + 1] *)
+  dst : int array;  (** neighbor id per position, length [2m] *)
+  wgt : int array;  (** edge weight per position *)
+  eid : int array;  (** edge id per position *)
+  twin : int array;
+      (** position of the reverse direction of the same edge; an
+          involution without fixed points *)
+  srt : int array;
+      (** per-row permutation of positions sorted by neighbor id (the
+          index {!csr_pos} binary-searches) *)
+}
+
 val make : n:int -> (int * int * int) list -> t
 (** [make ~n edges] builds a graph on [n] nodes from [(u, v, w)] triples.
     Raises [Invalid_argument] on self-loops, duplicate edges, endpoints out
     of range, or non-positive weights. *)
 
+val make_arr : n:int -> (int * int * int) array -> t
+(** Array-based construction path: identical validation and edge-id
+    assignment to {!make} (ids follow array order) without materializing
+    intermediate lists — the constructor {!Gen} uses so corpus-scale
+    instances build in O(m). *)
+
 val unweighted : n:int -> (int * int) list -> t
 (** All edges get weight 1. *)
+
+val unweighted_arr : n:int -> (int * int) array -> t
+(** Array-based {!unweighted}. *)
 
 val n : t -> int
 val m : t -> int
@@ -29,6 +62,14 @@ val edge : t -> int -> edge
 
 val adj : t -> int -> (int * int * int) array
 (** [adj g v] is the array of [(neighbor, weight, edge_id)] for [v]. *)
+
+val csr : t -> csr
+(** The flat CSR view (built once at construction; read-only). *)
+
+val csr_pos : t -> src:int -> dst:int -> int
+(** [csr_pos g ~src ~dst] is the directed CSR position of the edge from
+    [src] to [dst], or [-1] if no such edge exists (or [src] is out of
+    range).  O(log degree) binary search, no allocation. *)
 
 val degree : t -> int -> int
 val max_degree : t -> int

@@ -31,6 +31,7 @@ let rule_sim_globals = "sim-globals"
 let rule_nondet = "nondet"
 let rule_congest = "congest-discipline"
 let rule_catch_all = "catch-all"
+let rule_unsafe = "unsafe-array"
 
 let rules =
   [
@@ -72,6 +73,14 @@ let rules =
         "a bare `with _ ->' can swallow Pool.Nested_use or \
          Sim.Round_limit and turn a protocol bug into silent data \
          corruption";
+    };
+    {
+      id = rule_unsafe;
+      synopsis = "bounds-unchecked array/bytes access (unsafe_get/unsafe_set)";
+      rationale =
+        "an out-of-range unsafe access is silent memory corruption, not \
+         an exception; every use must sit behind an explicit bounds check \
+         and carry an inline [@lint.allow \"unsafe-array\"] pointing at it";
     };
   ]
 
@@ -229,7 +238,13 @@ let check_toplevel_binding ctx (vb : Parsetree.value_binding) =
                  \"global-state\"] and a comment"
         | _ -> ())
 
-let sim_shims = [ "set_observer"; "with_observer"; "use_reference_engine" ]
+let sim_shims =
+  [ "set_observer"; "with_observer"; "use_reference_engine"; "use_flat_engine" ]
+
+(* Modules whose [unsafe_*] accessors skip bounds checks.  [Obj.magic]-level
+   tricks are out of scope; these are the ones that turn an off-by-one into
+   silent memory corruption. *)
+let unsafe_modules = [ "Array"; "Bytes"; "String"; "Float" ]
 
 let check_ident ctx ~loc lid =
   let p = path_str lid in
@@ -243,8 +258,20 @@ let check_ident ctx ~loc lid =
     emit ctx ~loc ~rule:rule_sim_globals
       ~message:(Printf.sprintf "use of deprecated global Sim shim `%s'" p)
       ~hint:
-        "pass ?observer / ?reference to the run instead (domain-safe); \
-         differential tests may suppress with [@lint.allow \"sim-globals\"]";
+        "pass ?observer / ?reference / ?flat to the run instead \
+         (domain-safe); differential tests may suppress with [@lint.allow \
+         \"sim-globals\"]";
+  (* unsafe-array: every bounds-unchecked access needs an inline allow. *)
+  if
+    String.starts_with ~prefix:"unsafe_" (last_comp lid)
+    && List.exists (fun m -> List.mem m comps) unsafe_modules
+  then
+    emit ctx ~loc ~rule:rule_unsafe
+      ~message:(Printf.sprintf "bounds-unchecked access `%s'" p)
+      ~hint:
+        "use the checked accessor, or keep the access behind an explicit \
+         bounds check and mark the proven site with [@lint.allow \
+         \"unsafe-array\"]";
   (* nondet: seeding/IO-free determinism contract. *)
   (match p with
   | "Random.self_init" | "Random.init" | "Random.full_init" ->

@@ -14,9 +14,10 @@
       [Buffer.create], [Atomic.make], [Mutex.create], array literals, ...)
       in [lib/]: the exact hazard the domain-safety contract forbids.
     - [sim-globals] — uses of the deprecated process-wide [Sim] shims
-      ([set_observer] / [with_observer] / [use_reference_engine]) outside
-      the differential-test allowlist; per-run [?observer] / [?reference]
-      are the domain-safe replacements.
+      ([set_observer] / [with_observer] / [use_reference_engine] /
+      [use_flat_engine]) outside the differential-test allowlist; per-run
+      [?observer] / [?reference] / [?flat] are the domain-safe
+      replacements.
     - [nondet] — nondeterminism sources: [Random.self_init], the global
       [Random.*] API (the seeded [Random.State] / [Dsf_util.Rng] paths are
       fine), wall-clock reads in [lib/] or [bin/] (allowed in [bench/]),
@@ -26,6 +27,10 @@
       mutating inbox/outbox structures, outside [lib/congest/sim.ml].
     - [catch-all] — [try ... with _ ->] handlers that can silently swallow
       [Pool.Nested_use] or [Sim.Round_limit].
+    - [unsafe-array] — bounds-unchecked accessors ([Array.unsafe_get],
+      [Bytes.unsafe_set], ...): allowed only behind an explicit bounds
+      check, marked site-by-site with [[@lint.allow "unsafe-array"]] (the
+      flat engine's inbox accessors are the canonical example).
 
     {2 Suppression}
 

@@ -59,6 +59,75 @@ let test_edge_set_weight () =
   check Alcotest.int "selected weight" 2 (Graph.edge_set_weight g f);
   check Alcotest.int "selected edges" 2 (List.length (Graph.edge_list_of_set g f))
 
+(* ------------------------------------------------------------------- CSR *)
+
+(* Checks every CSR invariant the flat simulator engine relies on:
+   position/adj alignment, offset monotonicity, twin involution across the
+   edge direction, and the sorted index behind [csr_pos]. *)
+let csr_consistent g =
+  let open Graph in
+  let c = csr g in
+  let n = n g and m = m g in
+  let ok = ref true in
+  let fail _why = ok := false in
+  if Array.length c.off <> n + 1 || c.off.(0) <> 0 || c.off.(n) <> 2 * m then
+    fail "offsets";
+  for v = 0 to n - 1 do
+    let row = adj g v in
+    if c.off.(v + 1) - c.off.(v) <> Array.length row then fail "row length";
+    Array.iteri
+      (fun i (nb, w, id) ->
+        let p = c.off.(v) + i in
+        if c.dst.(p) <> nb || c.wgt.(p) <> w || c.eid.(p) <> id then
+          fail "adj alignment";
+        let t = c.twin.(p) in
+        if c.eid.(t) <> id || c.dst.(t) <> v || c.twin.(t) <> p then
+          fail "twin involution";
+        if csr_pos g ~src:v ~dst:nb <> p then fail "csr_pos roundtrip")
+      row;
+    (* srt row sorted strictly by neighbor id. *)
+    for i = c.off.(v) + 1 to c.off.(v + 1) - 1 do
+      if c.dst.(c.srt.(i - 1)) >= c.dst.(c.srt.(i)) then fail "srt order"
+    done
+  done;
+  (* Absent edges resolve to -1. *)
+  for v = 0 to n - 1 do
+    let row = adj g v in
+    let nbrs = Array.to_list row |> List.map (fun (nb, _, _) -> nb) in
+    for u = 0 to n - 1 do
+      if u <> v && not (List.mem u nbrs) then
+        if csr_pos g ~src:v ~dst:u <> -1 then fail "phantom edge"
+    done
+  done;
+  if csr_pos g ~src:(-1) ~dst:0 <> -1 || csr_pos g ~src:n ~dst:0 <> -1 then
+    fail "out-of-range src";
+  !ok
+
+let test_csr_diamond () =
+  Alcotest.(check bool) "csr invariants" true (csr_consistent (diamond ()))
+
+let test_make_arr_equiv () =
+  let triples = [ 0, 1, 1; 1, 3, 1; 0, 2, 2; 2, 3, 2; 0, 3, 5 ] in
+  let gl = Graph.make ~n:4 triples in
+  let ga = Graph.make_arr ~n:4 (Array.of_list triples) in
+  check Alcotest.int "same m" (Graph.m gl) (Graph.m ga);
+  Array.iteri
+    (fun id (e : Graph.edge) ->
+      let e' = Graph.edge ga id in
+      Alcotest.(check bool) "same edge" true
+        (e.u = e'.u && e.v = e'.v && e.w = e'.w && e.id = e'.id))
+    (Graph.edges gl);
+  Alcotest.check_raises "make_arr validates too"
+    (Invalid_argument "Graph.make: duplicate edge") (fun () ->
+      ignore (Graph.make_arr ~n:2 [| 0, 1, 1; 1, 0, 2 |]))
+
+let prop_csr_consistent =
+  QCheck.Test.make ~name:"CSR invariants on random graphs" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen.random_connected (rng seed) ~n:25 ~extra_edges:20 ~max_w:9 in
+      csr_consistent g)
+
 (* ----------------------------------------------------------------- Paths *)
 
 let test_dijkstra_diamond () =
@@ -439,6 +508,9 @@ let suites =
         Alcotest.test_case "edge lookup" `Quick test_graph_edges;
         Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
         Alcotest.test_case "edge set weight" `Quick test_edge_set_weight;
+        Alcotest.test_case "csr diamond" `Quick test_csr_diamond;
+        Alcotest.test_case "make_arr equivalence" `Quick test_make_arr_equiv;
+        qtest prop_csr_consistent;
       ] );
     ( "graph.paths",
       [

@@ -57,6 +57,8 @@ let test_sim_globals () =
     "let go obs f = Dsf_congest.Sim.with_observer obs f";
   fires ~file:"bench/bad.ml" "sim-globals"
     "let slow () = Sim.use_reference_engine := true";
+  fires ~file:"bench/bad.ml" "sim-globals"
+    "let fast () = Sim.use_flat_engine := true";
   (* the differential suites are the allowlisted consumers of the shims *)
   quiet ~file:"test/test_sim_equiv.ml"
     "let go obs f = Sim.with_observer obs f";
@@ -125,6 +127,33 @@ let test_catch_all () =
     "let safe f = try f () with e -> \
      Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())"
 
+(* ----------------------------------------------------------- unsafe-array *)
+
+let test_unsafe_array () =
+  fires ~file:"lib/core/bad.ml" "unsafe-array"
+    "let get a i = Array.unsafe_get a i";
+  fires ~file:"lib/core/bad.ml" "unsafe-array"
+    "let set a i v = Array.unsafe_set a i v";
+  fires ~file:"lib/core/bad.ml" "unsafe-array"
+    "let byte b i = Bytes.unsafe_get b i";
+  fires ~file:"lib/core/bad.ml" "unsafe-array"
+    "let ch s i = String.unsafe_get s i";
+  (* unsafe access is a hazard in every zone, not just lib/ *)
+  fires ~file:"bench/micro.ml" "unsafe-array"
+    "let get a i = Array.unsafe_get a i";
+  fires ~file:"test/test_x.ml" "unsafe-array"
+    "let get a i = Array.unsafe_get a i";
+  (* the simulator carries its allows inline, not via a file allowlist *)
+  fires ~file:"lib/congest/sim.ml" "unsafe-array"
+    "let get a i = Array.unsafe_get a i";
+  quiet ~file:"lib/congest/sim.ml"
+    "let get a i =\n\
+    \  if i < 0 || i >= Array.length a then invalid_arg \"get\";\n\
+    \  (Array.unsafe_get a i [@lint.allow \"unsafe-array\"])";
+  (* checked accessors and unrelated unsafe_-named functions stay quiet *)
+  quiet ~file:"lib/core/good.ml" "let get a i = Array.get a i";
+  quiet ~file:"lib/core/good.ml" "let go x = Proto.unsafe_cast x"
+
 (* ------------------------------------------------------------ suppression *)
 
 let test_suppression () =
@@ -164,7 +193,7 @@ let test_zones_and_errors () =
   (match Lint.check_string ~file:"lib/core/broken.ml" "let = 3 in" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "parse error expected");
-  check Alcotest.int "rule catalogue" 5 (List.length Lint.rules)
+  check Alcotest.int "rule catalogue" 6 (List.length Lint.rules)
 
 (* --------------------------------------------------------------- baseline *)
 
@@ -230,6 +259,7 @@ let suites =
         Alcotest.test_case "nondet" `Quick test_nondet;
         Alcotest.test_case "congest-discipline" `Quick test_congest_discipline;
         Alcotest.test_case "catch-all" `Quick test_catch_all;
+        Alcotest.test_case "unsafe-array" `Quick test_unsafe_array;
         Alcotest.test_case "suppression" `Quick test_suppression;
         Alcotest.test_case "zones and parse errors" `Quick test_zones_and_errors;
         Alcotest.test_case "baseline" `Quick test_baseline;

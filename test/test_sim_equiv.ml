@@ -294,6 +294,148 @@ let test_observer_order_identical () =
   check Alcotest.int "same length" (List.length l2) (List.length l1);
   Alcotest.(check bool) "same sequence" true (l1 = l2)
 
+(* ------------------------------------------------------------ flat engine *)
+
+(* Capture a run as a comparable value: states, stats and the observer
+   trace on success, the full abort post-mortem on Round_limit (both
+   sides of a differential must stall identically too). *)
+let capture run g proto =
+  let log = ref [] in
+  let observer ~src ~dst ~bits = log := (src, dst, bits) :: !log in
+  let outcome =
+    match run ~observer g proto with
+    | s, t -> Ok (s, t)
+    | exception Sim.Round_limit a -> Error a
+  in
+  outcome, List.rev !log
+
+let prop_flat_equiv_faults_telemetry =
+  QCheck.Test.make
+    ~name:"flat = active (faults + telemetry on, incl. stalls)" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let root = seed mod n in
+      (* Drops can strand the flood forever (it never retransmits), so a
+         stall is an expected outcome here: both engines must then raise
+         Round_limit with the same post-mortem. *)
+      let plan =
+        Fault.plan ~drop:0.15 ~duplicate:0.1
+          ~link_down:[ (root, (root + 1) mod n, 0, 2) ]
+          ~crashes:[ ((root + 2) mod n, 1, 3) ]
+          ~seed ()
+      in
+      let leg ~flat ~jobs =
+        capture
+          (fun ~observer g p ->
+            let faults = Fault.instantiate plan in
+            let telemetry = Telemetry.create ~clock:(fun () -> 0L) () in
+            Sim.run ~max_rounds:300 ~observer ~faults ~telemetry ~flat ~jobs
+              g p)
+          g (flood_protocol root)
+      in
+      let active = leg ~flat:false ~jobs:1 in
+      active = leg ~flat:true ~jobs:1 && active = leg ~flat:true ~jobs:3)
+
+let prop_flat_equiv_lossless =
+  QCheck.Test.make
+    ~name:"flat = active = reference (lossless, telemetry on)" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      let leg run =
+        capture
+          (fun ~observer g p ->
+            let telemetry = Telemetry.create ~clock:(fun () -> 0L) () in
+            run ~observer ~telemetry g p)
+          g (flood_protocol root)
+      in
+      let flat =
+        leg (fun ~observer ~telemetry g p ->
+            Sim.run ~observer ~telemetry ~flat:true g p)
+      in
+      flat = leg (fun ~observer ~telemetry g p -> Sim.run ~observer ~telemetry g p)
+      && flat
+         = leg (fun ~observer ~telemetry g p ->
+               Sim.run_reference ~observer ~telemetry g p))
+
+let prop_flat_jobs_invariant =
+  QCheck.Test.make
+    ~name:"flat engine is jobs-invariant (1 = 2 = 4, observer incl.)"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let root = seed mod Graph.n g in
+      (* Two scheduling regimes: the sparse fast path (no faults) and the
+         full criterion sweep (faults present) must both be independent
+         of the domain count. *)
+      let sparse jobs =
+        capture
+          (fun ~observer g p -> Sim.run ~observer ~flat:true ~jobs g p)
+          g (flood_protocol root)
+      in
+      let swept jobs =
+        capture
+          (fun ~observer g p ->
+            let faults =
+              Fault.instantiate (Fault.plan ~drop:0.1 ~seed ())
+            in
+            Sim.run ~max_rounds:300 ~observer ~faults ~flat:true ~jobs g p)
+          g (flood_protocol root)
+      in
+      let s1 = sparse 1 and w1 = swept 1 in
+      s1 = sparse 2 && s1 = sparse 4 && w1 = swept 2 && w1 = swept 4)
+
+let prop_flat_native_bfs =
+  QCheck.Test.make
+    ~name:"Bfs.flat_protocol = Bfs.protocol (tree, stats, jobs sweep)"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let root = seed mod n in
+      let tree, t_classic = Bfs.build g ~root in
+      let flat jobs = Sim.run_flat ~jobs g (Bfs.flat_protocol ~root) in
+      let f1, t1 = flat 1 and f4, t4 = flat 4 in
+      let same_tree = ref true in
+      Array.iteri
+        (fun v packed ->
+          match Bfs.flat_state_parent_depth ~n packed with
+          | None -> same_tree := false (* connected: everyone is reached *)
+          | Some (p, d) ->
+              if p <> tree.Bfs.parent.(v) || d <> tree.Bfs.depth.(v) then
+                same_tree := false)
+        f1;
+      !same_tree && stats_eq t_classic t1 && f1 = f4 && stats_eq t1 t4)
+
+let test_flat_adapter_inbox_order () =
+  (* The adapter's inbox_list must present arrival order exactly as the
+     classic engines build inboxes: senders ascending, send order within
+     a sender.  A 2-source flood on a path makes node 2 hear 1 and 3 in
+     the same round. *)
+  let g = Gen.path 5 in
+  let two_roots : (flood_state, unit) Sim.protocol =
+    let p = flood_protocol 1 in
+    {
+      p with
+      init =
+        (fun view ->
+          if view.Sim.node = 1 || view.Sim.node = 3 then
+            { heard = Some 0; relayed = false }
+          else { heard = None; relayed = false });
+    }
+  in
+  let (s1, t1), (s2, t2) =
+    ( Sim.run ~flat:true g two_roots,
+      Sim.run g two_roots )
+  in
+  Alcotest.(check bool) "states" true (s1 = s2);
+  Alcotest.(check bool) "stats" true (stats_eq t1 t2)
+
 let suites =
   [
     ( "congest.sim_equiv",
@@ -305,6 +447,12 @@ let suites =
         qtest prop_bfs_leader_exchange_equiv;
         qtest prop_telemetry_transparent;
         qtest prop_empty_plan_identity;
+        qtest prop_flat_equiv_faults_telemetry;
+        qtest prop_flat_equiv_lossless;
+        qtest prop_flat_jobs_invariant;
+        qtest prop_flat_native_bfs;
+        Alcotest.test_case "flat adapter inbox order" `Quick
+          test_flat_adapter_inbox_order;
         Alcotest.test_case "single node" `Quick test_single_node;
         Alcotest.test_case "round limit" `Quick test_round_limit_equiv;
         Alcotest.test_case "halt hook" `Quick test_halt_equiv;
