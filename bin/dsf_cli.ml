@@ -66,7 +66,7 @@ let write_trace = function
       if path <> "-" then Format.printf "wrote trace to %s@." path
 
 let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
-    trace trace_format =
+    flat trace trace_format =
   let sink = trace_sink trace trace_format in
   let telemetry = telemetry_of_sink sink in
   let rng = Dsf_util.Rng.create seed in
@@ -80,7 +80,8 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
   let weight, solution, ledger =
     match algo with
     | "det" ->
-        let r = Dsf_core.Det_dsf.run ?telemetry inst in
+        let flat = if flat then Some true else None in
+        let r = Dsf_core.Det_dsf.run ?telemetry ?flat ~jobs inst in
         r.Dsf_core.Det_dsf.weight, r.Dsf_core.Det_dsf.solution, Some r.Dsf_core.Det_dsf.ledger
     | "sublinear" ->
         let r = Dsf_core.Det_sublinear.run ?telemetry ~eps_num:1 ~eps_den inst in
@@ -115,7 +116,11 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
      the algorithm provides one). *)
   let dual =
     match algo with
-    | "det" -> Some (Dsf_core.Frac.to_float (Dsf_core.Det_dsf.run inst).Dsf_core.Det_dsf.dual)
+    | "det" ->
+        let flat = if flat then Some true else None in
+        Some
+          (Dsf_core.Frac.to_float
+             (Dsf_core.Det_dsf.run ?flat ~jobs inst).Dsf_core.Det_dsf.dual)
     | _ -> None
   in
   (match Dsf_core.Certify.check ?dual inst ~solution with
@@ -283,6 +288,15 @@ let jobs_arg =
            algorithm); default = recommended domain count, capped; results \
            are identical for any value")
 
+let flat_arg =
+  Arg.(
+    value & flag
+    & info [ "flat" ]
+        ~doc:
+          "run the det algorithm's simulated subroutines on the flat-core \
+           engine (native ports + boxed adapter); results are bit-identical \
+           to the classic engines")
+
 let solve_term =
   let algo = Arg.(value & opt string "det" & info [ "algo" ] ~doc:"det | sublinear | rand | khan | moat") in
   let eps_den = Arg.(value & opt int 2 & info [ "eps-den" ] ~doc:"eps = 1/eps-den for sublinear") in
@@ -295,8 +309,8 @@ let solve_term =
   in
   Term.(
     const solve_cmd $ algo $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
-    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg $ trace_arg
-    $ trace_format_arg)
+    $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg $ flat_arg
+    $ trace_arg $ trace_format_arg)
 
 let compare_term =
   Term.(

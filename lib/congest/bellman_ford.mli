@@ -33,12 +33,34 @@ val protocol :
 (** The raw relaxation protocol, exposed for the chaos differential suite
     (hardened-vs-lossless final-state comparison via {!Fault.harden}). *)
 
+type flat_state
+(** Packed-state type of {!flat_protocol}; decode through {!run}. *)
+
+val flat_protocol :
+  ?weight_of:(int -> int) ->
+  ?radius:int ->
+  Dsf_graph.Graph.t ->
+  sources:(int * int) list ->
+  (flat_state, int) Sim.flat_protocol option
+(** The native flat-engine port of {!protocol}: messages are one immediate
+    int each (a {!Dsf_util.Pack} layout of distance, source, hops — the
+    distance field sized by the instance's sound bound min(radius, max d0 +
+    (n-1)·max w)), node state is a mutable record updated in place, and
+    incoming edge weights resolve through the CSR view.  Rounds, messages,
+    bits, and final labels are bit-identical to {!protocol} (differential
+    suite enforced).  Returns [None] when the widths exceed an immediate
+    int; {!run}[ ~flat:true] then falls back to the classic protocol
+    through the flat engine's boxed adapter. *)
+
 val run :
   ?weight_of:(int -> int) ->
   ?radius:int ->
   ?max_rounds:int ->
   ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   sources:(int * int) list ->
   result * Sim.stats
@@ -47,11 +69,17 @@ val run :
     weights model edges inside contracted moats).  [radius r] discards any
     path of distance > [r].  Ties are broken towards the smaller source id,
     then the smaller parent id.  [telemetry] profiles the run under a
-    ["bellman_ford"] span. *)
+    ["bellman_ford"] span.  [~flat:true] runs the native {!flat_protocol}
+    on {!Sim.run_flat} with [?jobs] domains (boxed adapter fallback when it
+    declines); [~flat:false] forces the classic active engine; omitting
+    [flat] defers to {!Sim.run}'s engine selection.  [faults] injects a
+    fault plan (active or flat engine only). *)
 
 val sssp :
   ?observer:Sim.observer ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   src:int ->
   result * Sim.stats

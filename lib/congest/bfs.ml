@@ -1,5 +1,6 @@
 module Graph = Dsf_graph.Graph
 module Bitsize = Dsf_util.Bitsize
+module Pack = Dsf_util.Pack
 
 type tree = {
   root : int;
@@ -55,24 +56,48 @@ let protocol ~root : (state, msg) Sim.protocol =
       wake = Some Sim.never;
   }
 
+(* Packed-state layout for the native port, declared through
+   {!Dsf_util.Pack} so the encoding is width-checked and auditable next to
+   every other flat port's.  Bit 0 is the announced flag, then the depth
+   (<= n - 1 hops), then parent + 1 (0 = the root's sentinel parent, so the
+   field spans [0 .. n]).  -1 stays outside the packed domain as the
+   "unreached" sentinel. *)
+let flat_fields ~n =
+  match
+    Pack.layout [ 1; Pack.width_of_max (max 1 (n - 1)); Pack.width_of_max n ]
+  with
+  | [| announced; depth; parent1 |] -> announced, depth, parent1
+  | _ -> assert false
+
 (* Native flat-engine BFS (see {!Sim.flat_protocol}): the same wavefront
    as [protocol], with the whole node state packed into one immediate int
-   so the flat engine's steady-state loop allocates nothing.
-
-   Encoding: -1 = unreached; otherwise
-   [((parent + 1) * (n + 1) + depth) * 2 + announced], with parent = -1 at
-   the root.  Unlike [protocol] — whose unreached nodes report not-done
+   (layout above) so the flat engine's steady-state loop allocates
+   nothing.  Unlike [protocol] — whose unreached nodes report not-done
    and are therefore stepped every round — unreached nodes here report
    done and are woken by arriving mail, so the sparse scheduler keeps the
    active list at the wavefront.  Quiescence round, messages, bits, and
    the resulting tree are unchanged (the differential suite checks this);
    only the stepped/telemetry series shrink. *)
 let flat_protocol ~root : (int, int) Sim.flat_protocol =
+  (* The layout depends only on n; memoized per protocol value so the hot
+     step reads three locals (one allocation per run, not per step). *)
+  let memo_n = ref (-1) in
+  let dummy = (Pack.layout [ 1 ]).(0) in
+  let f_ann = ref dummy and f_depth = ref dummy and f_parent1 = ref dummy in
+  let sync n =
+    if !memo_n <> n then begin
+      let ann, depth, parent1 = flat_fields ~n in
+      f_ann := ann;
+      f_depth := depth;
+      f_parent1 := parent1;
+      memo_n := n
+    end
+  in
   {
     fp_init = (fun view -> if view.Sim.node = root then 0 else -1);
     fp_step =
       (fun view ~round:_ st ~inbox ~emit ->
-        let n1 = view.Sim.n + 1 in
+        sync view.Sim.n;
         let st =
           if st = -1 then begin
             (* Join the tree via the smallest-id sender in this inbox. *)
@@ -88,15 +113,16 @@ let flat_protocol ~root : (int, int) Sim.flat_protocol =
                   best_d := Sim.inbox_msg inbox i
                 end
               done;
-              ((!best_s + 1) * n1 + (!best_d + 1)) * 2
+              Pack.put !f_parent1 (!best_s + 1)
+                (Pack.put !f_depth (!best_d + 1) 0)
             end
           end
           else st
         in
-        if st >= 0 && st land 1 = 0 then begin
-          let depth = st / 2 mod n1 in
+        if st >= 0 && Pack.get !f_ann st = 0 then begin
+          let depth = Pack.get !f_depth st in
           Array.iter (fun (nb, _, _) -> emit ~dst:nb depth) view.Sim.nbrs;
-          st lor 1
+          Pack.put !f_ann 1 st
         end
         else st);
     fp_is_done = (fun st -> st = -1 || st land 1 = 1);
@@ -107,18 +133,47 @@ let flat_protocol ~root : (int, int) Sim.flat_protocol =
 let flat_state_parent_depth ~n st =
   if st = -1 then None
   else
-    let pd = st / 2 in
-    Some ((pd / (n + 1)) - 1, pd mod (n + 1))
+    let _, f_depth, f_parent1 = flat_fields ~n in
+    Some (Pack.get f_parent1 st - 1, Pack.get f_depth st)
 
-let build ?observer ?telemetry g ~root =
+let tree_of_parent_depth ~root ~parent ~depth =
+  let n = Array.length parent in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then children.(p) <- v :: children.(p))
+    parent;
+  let height = Array.fold_left max 0 depth in
+  { root; parent; depth; children; height }
+
+let build ?observer ?telemetry ?flat ?jobs g ~root =
   let n = Graph.n g in
   (* Precondition check: on a disconnected graph the flood never reaches
      everyone and the simulation would spin to its round limit. *)
   if not (Graph.is_connected g) then
     invalid_arg "Bfs.build: disconnected graph";
+  if flat = Some true then begin
+    (* Native port: run on the flat engine directly and decode the packed
+       states.  Tree and stats are bit-identical to the classic path. *)
+    let states, stats =
+      Telemetry.span_opt telemetry "bfs" (fun () ->
+          Sim.run_flat ?observer ?telemetry ?jobs g (flat_protocol ~root))
+    in
+    let parent = Array.make n (-1) in
+    let depth = Array.make n 0 in
+    Array.iteri
+      (fun v st ->
+        match flat_state_parent_depth ~n st with
+        | None -> invalid_arg "Bfs.build: disconnected graph"
+        | Some (p, d) ->
+            parent.(v) <- p;
+            depth.(v) <- d)
+      states;
+    tree_of_parent_depth ~root ~parent ~depth, stats
+  end
+  else begin
   let states, stats =
     Telemetry.span_opt telemetry "bfs" (fun () ->
-        Sim.run ?observer ?telemetry g (protocol ~root))
+        Sim.run ?observer ?telemetry ?flat ?jobs g (protocol ~root))
   in
   let parent = Array.make n (-1) in
   let depth = Array.make n 0 in
@@ -130,11 +185,7 @@ let build ?observer ?telemetry g ~root =
           parent.(v) <- p;
           depth.(v) <- st.depth)
     states;
-  let children = Array.make n [] in
-  Array.iteri
-    (fun v p -> if p >= 0 then children.(p) <- v :: children.(p))
-    parent;
-  let height = Array.fold_left max 0 depth in
-  { root; parent; depth; children; height }, stats
+  tree_of_parent_depth ~root ~parent ~depth, stats
+  end
 
 let max_id_root g = Graph.n g - 1

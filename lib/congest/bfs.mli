@@ -22,9 +22,11 @@ val protocol : root:int -> (state, msg) Sim.protocol
 
 val flat_protocol : root:int -> (int, int) Sim.flat_protocol
 (** The same wavefront as {!protocol}, written natively against the
-    flat-core engine: node state is one immediate int, messages are bare
-    depths, and unreached nodes report done until mail arrives (so the
-    sparse scheduler only ever steps the wavefront).  Quiescence round,
+    flat-core engine: node state is one immediate int (a
+    {!Dsf_util.Pack} layout of announced flag, depth, and parent + 1,
+    with -1 as the unreached sentinel), messages are bare depths, and
+    unreached nodes report done until mail arrives (so the sparse
+    scheduler only ever steps the wavefront).  Quiescence round,
     messages, bits, and the resulting tree match {!protocol}; it is the
     zero-allocation exemplar the flat-engine benchmarks run. *)
 
@@ -36,12 +38,18 @@ val flat_state_parent_depth : n:int -> int -> (int * int) option
 val build :
   ?observer:Sim.observer ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   root:int ->
   tree * Sim.stats
 (** Raises [Invalid_argument] if the graph is disconnected.  [observer]
     taps this run's messages (per-run, domain-safe); [telemetry] profiles
-    the flood under a ["bfs"] span. *)
+    the flood under a ["bfs"] span.  [~flat:true] runs the native
+    {!flat_protocol} on {!Sim.run_flat} (with [?jobs] domains) —
+    bit-identical tree, stats, and observer trace; [~flat:false] forces
+    the classic active engine; omitting [flat] defers to {!Sim.run}'s
+    engine selection (including the deprecated shims). *)
 
 val max_id_root : Dsf_graph.Graph.t -> int
 (** The conventional root choice of the paper's appendix: the node with the

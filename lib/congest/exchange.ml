@@ -15,9 +15,37 @@ let protocol ~payload_bits : (bool, unit) Sim.protocol =
     wake = Some Sim.never;
   }
 
-let all_neighbors ?observer ?faults ?telemetry g ~payload_bits =
-  let _, stats =
-    Telemetry.span_opt telemetry "neighbor_exchange" (fun () ->
-        Sim.run ?observer ?faults ?telemetry g (protocol ~payload_bits))
-  in
-  stats
+(* Native flat-engine port: state is a bare immediate int (0 = not sent,
+   1 = sent), the payload placeholder is the int 0, and everything else is
+   the classic protocol verbatim — it was already mail-free and
+   wake-never. *)
+let flat_protocol ~payload_bits : (int, int) Sim.flat_protocol =
+  {
+    fp_init = (fun _ -> 0);
+    fp_step =
+      (fun view ~round:_ sent ~inbox:_ ~emit ->
+        if sent = 1 then 1
+        else begin
+          Array.iter (fun (nb, _, _) -> emit ~dst:nb 0) view.Sim.nbrs;
+          1
+        end);
+    fp_is_done = (fun sent -> sent = 1);
+    fp_msg_bits = (fun _ -> payload_bits);
+    fp_wake = Some Sim.never;
+  }
+
+let all_neighbors ?observer ?faults ?telemetry ?flat ?jobs g ~payload_bits =
+  if flat = Some true then
+    let _, stats =
+      Telemetry.span_opt telemetry "neighbor_exchange" (fun () ->
+          Sim.run_flat ?observer ?faults ?telemetry ?jobs g
+            (flat_protocol ~payload_bits))
+    in
+    stats
+  else
+    let _, stats =
+      Telemetry.span_opt telemetry "neighbor_exchange" (fun () ->
+          Sim.run ?observer ?faults ?telemetry ?flat ?jobs g
+            (protocol ~payload_bits))
+    in
+    stats

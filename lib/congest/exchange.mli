@@ -9,10 +9,16 @@ val protocol : payload_bits:int -> (bool, unit) Sim.protocol
     crash-and-restart: a restarted node re-inits to [false] and simply
     re-sends, so every node that survives to quiescence has sent. *)
 
+val flat_protocol : payload_bits:int -> (int, int) Sim.flat_protocol
+(** The native flat-engine port of {!protocol}: bare-int state and
+    messages, otherwise identical. *)
+
 val all_neighbors :
   ?observer:Sim.observer ->
   ?faults:Sim.faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   payload_bits:int ->
   Sim.stats
@@ -20,4 +26,8 @@ val all_neighbors :
     region announcement: owner id + offset + activity bit).  [observer]
     taps the run per-run (domain-safe); [faults] injects a fault plan
     (see {!Fault}); [telemetry] profiles the run under a
-    ["neighbor_exchange"] span. *)
+    ["neighbor_exchange"] span.  [~flat:true] runs the native
+    {!flat_protocol} on {!Sim.run_flat} with [?jobs] domains
+    (bit-identical stats and traces); [~flat:false] forces the classic
+    active engine; omitting [flat] defers to {!Sim.run}'s engine
+    selection. *)

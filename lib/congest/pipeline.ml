@@ -30,9 +30,178 @@ type 'k state = {
   sent_done : bool;
 }
 
-let filtered_upcast ?observer ?telemetry ?stop_at_root g ~(tree : Bfs.tree)
-    ~vn ~pre ~items ~cmp ~bits =
+(* Native flat-engine state.  Child queues live in a per-node array indexed
+   through a global child -> index map (each node has one parent, so one
+   global array serves every node), and three counters make the per-step
+   checks O(1): [p_open] (children not yet Done), [p_empty_open] (open
+   children whose queue is empty — the node is stalled iff > 0), and
+   [p_queued] (total buffered items — drained iff own, open and queued are
+   all zero).  Everything is mutated in place, so a step allocates only the
+   queue cells of newly arrived items.
+
+   The completion test is the key difference from the classic protocol:
+   a node reports done when it is *stalled* or when it is drained and has
+   closed its stream ([sent_done], or is the root).  Every configuration
+   reported done really is a no-op on an empty inbox, so the port declares
+   [wake = Some Sim.never] and the sparse scheduler keeps the active list
+   at the item/Done wavefront — the classic protocol's [not sent_done]
+   wake hook steps every unfinished node every round instead (O(n) per
+   round on a path).  The message schedule is unchanged: the extra nodes
+   the classic engine steps are exactly the stalled/drained no-ops, so
+   rounds, messages, bits, observer traces and the accepted list are
+   bit-identical (differential suite enforced). *)
+type 'k fstate = {
+  mutable p_own : 'k item list;  (** ascending *)
+  p_qs : 'k item Queue.t array;  (** per-child FIFO, child scan order *)
+  p_openf : bool array;  (** child not yet Done *)
+  mutable p_open : int;
+  mutable p_empty_open : int;
+  mutable p_queued : int;
+  p_uf : Uf.t;
+  mutable p_acc : 'k item list;  (** root only; reversed *)
+  mutable p_sent_done : bool;
+  p_root : bool;
+}
+
+let filtered_upcast_flat ~(tree : Bfs.tree) ~vn ~pre ~items ~icmp ~bits :
+    ('k fstate, 'k msg) Sim.flat_protocol =
+  let n = Array.length tree.parent in
+  (* Global child -> index-in-parent's-arrays map.  The scan order below is
+     the [tree.children] list order; the classic protocol scans a Hashtbl
+     instead, so tie-breaking between *structurally distinct items that
+     compare equal* could differ — no caller produces such items ([cmp]
+     total up to endpoint tie-break), and the differential suite pins the
+     equivalence on that domain. *)
+  let child_idx = Array.make n (-1) in
+  Array.iteri
+    (fun _v cs -> List.iteri (fun i c -> child_idx.(c) <- i) cs)
+    tree.children;
+  let stalled st = st.p_empty_open > 0 in
+  let drained st =
+    (match st.p_own with [] -> true | _ :: _ -> false)
+    && st.p_open = 0 && st.p_queued = 0
+  in
+  {
+    fp_init =
+      (fun view ->
+        let v = view.Sim.node in
+        let uf = Uf.create vn in
+        List.iter (fun (x, y) -> ignore (Uf.union uf x y)) pre;
+        let nc = List.length tree.children.(v) in
+        {
+          p_own = List.sort icmp (items v);
+          p_qs = Array.init nc (fun _ -> Queue.create ());
+          p_openf = Array.make nc true;
+          p_open = nc;
+          p_empty_open = nc;
+          p_queued = 0;
+          p_uf = uf;
+          p_acc = [];
+          p_sent_done = false;
+          p_root = v = tree.root;
+        });
+    fp_step =
+      (fun view ~round:_ st ~inbox ~emit ->
+        let v = view.Sim.node in
+        let k = Sim.inbox_len inbox in
+        for i = 0 to k - 1 do
+          let j = child_idx.(Sim.inbox_src inbox i) in
+          match Sim.inbox_msg inbox i with
+          | Item it ->
+              let q = st.p_qs.(j) in
+              if Queue.is_empty q && st.p_openf.(j) then
+                st.p_empty_open <- st.p_empty_open - 1;
+              Queue.add it q;
+              st.p_queued <- st.p_queued + 1
+          | Done ->
+              (* Guarded for idempotence: a duplicated Done must not skew
+                 the counters (the classic Hashtbl.remove is idempotent). *)
+              if st.p_openf.(j) then begin
+                st.p_openf.(j) <- false;
+                st.p_open <- st.p_open - 1;
+                if Queue.is_empty st.p_qs.(j) then
+                  st.p_empty_open <- st.p_empty_open - 1
+              end
+        done;
+        if stalled st then st
+        else begin
+          (* Repeatedly extract the global minimum; discard cycle-closers
+             for free; send (or accept, at the root) the first survivor.
+             Own head first, then child queue heads, first-found wins
+             ties — the classic scan policy. *)
+          let nq = Array.length st.p_qs in
+          let rec extract () =
+            let best_it = ref None and best_j = ref (-1) in
+            (match st.p_own with
+            | it :: _ -> best_it := Some it
+            | [] -> ());
+            for j = 0 to nq - 1 do
+              match Queue.peek_opt st.p_qs.(j) with
+              | Some it -> begin
+                  match !best_it with
+                  | Some b when icmp b it <= 0 -> ()
+                  | _ ->
+                      best_it := Some it;
+                      best_j := j
+                end
+              | None -> ()
+            done;
+            match !best_it with
+            | None -> None
+            | Some it ->
+                if !best_j < 0 then st.p_own <- List.tl st.p_own
+                else begin
+                  let q = st.p_qs.(!best_j) in
+                  ignore (Queue.pop q);
+                  st.p_queued <- st.p_queued - 1;
+                  if Queue.is_empty q && st.p_openf.(!best_j) then
+                    st.p_empty_open <- st.p_empty_open + 1
+                end;
+                if Uf.same st.p_uf it.a it.b then
+                  (* Extracting from a child queue may stall us again: only
+                     continue while no open child queue is empty. *)
+                  if stalled st then None else extract ()
+                else begin
+                  ignore (Uf.union st.p_uf it.a it.b);
+                  Some it
+                end
+          in
+          (match extract () with
+          | Some it ->
+              if st.p_root then st.p_acc <- it :: st.p_acc
+              else emit ~dst:tree.parent.(v) (Item it)
+          | None ->
+              (* Nothing left: if fully drained and all children Done,
+                 close our own stream. *)
+              if drained st && (not st.p_sent_done) && not st.p_root then begin
+                st.p_sent_done <- true;
+                emit ~dst:tree.parent.(v) Done
+              end);
+          st
+        end);
+    fp_is_done =
+      (fun st -> stalled st || (drained st && (st.p_sent_done || st.p_root)));
+    fp_msg_bits = (function Item it -> bits it | Done -> 1);
+    fp_wake = Some Sim.never;
+  }
+
+let filtered_upcast ?observer ?faults ?telemetry ?flat ?jobs ?stop_at_root g
+    ~(tree : Bfs.tree) ~vn ~pre ~items ~cmp ~bits =
   let icmp = item_cmp cmp in
+  if flat = Some true then begin
+    let halt =
+      Option.map
+        (fun pred states -> pred (List.rev states.(tree.root).p_acc))
+        stop_at_root
+    in
+    let states, stats =
+      Telemetry.span_opt telemetry "filtered_upcast" (fun () ->
+          Sim.run_flat ?halt ?observer ?faults ?telemetry ?jobs g
+            (filtered_upcast_flat ~tree ~vn ~pre ~items ~icmp ~bits))
+    in
+    List.rev states.(tree.root).p_acc, stats
+  end
+  else begin
   let proto : ('k state, 'k msg) Sim.protocol =
     {
       init =
@@ -157,6 +326,7 @@ let filtered_upcast ?observer ?telemetry ?stop_at_root g ~(tree : Bfs.tree)
   in
   let states, stats =
     Telemetry.span_opt telemetry "filtered_upcast" (fun () ->
-        Sim.run ?halt ?observer ?telemetry g proto)
+        Sim.run ?halt ?observer ?faults ?telemetry ?flat ?jobs g proto)
   in
   List.rev states.(tree.root).accepted, stats
+  end

@@ -540,6 +540,9 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
     match max_rounds with Some r -> r | None -> 10_000 + (200 * n)
   in
   let jobs = max 1 (min jobs n) in
+  (* Force the graph's CSR memo on the coordinator before any domain fan-out
+     so workers share the one view instead of racing to build it. *)
+  let csr = Graph.csr g in
   let views =
     Array.init n (fun node -> { node; n; nbrs = Graph.adj g node })
   in
@@ -618,7 +621,7 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
       let src = s.s_cur_src in
       if dst < 0 || dst >= n then
         invalid_arg "Sim.run: message to nonexistent node";
-      let p = Graph.csr_pos g ~src ~dst in
+      let p = Graph.pos csr ~src ~dst in
       if p < 0 then invalid_arg "Sim.run: message to non-neighbor";
       s.s_sent_any <- true;
       s.s_messages <- s.s_messages + 1;

@@ -3,7 +3,62 @@ type 'a up_state = {
   received : 'a list;  (** root only: arrival order, reversed *)
 }
 
-let upcast ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
+(* Native flat-engine state for {!upcast}: the forward queue is an actual
+   Queue (O(1) push/pop instead of the classic list append per step) and
+   the root's arrival log is mutated in place, so a step allocates only
+   the queue cells of newly arrived items.  The semantics — existing
+   pending items first, then arrivals in inbox order, one item to the
+   parent per round — are exactly the classic protocol's. *)
+type 'a up_fstate = { uq : 'a Queue.t; mutable u_recvd : 'a list }
+
+let upcast_flat ~(tree : Bfs.tree) ~items ~bits :
+    ('a up_fstate, 'a) Sim.flat_protocol =
+  {
+    fp_init =
+      (fun view ->
+        let v = view.Sim.node in
+        let mine = items v in
+        let uq = Queue.create () in
+        if v = tree.root then { uq; u_recvd = List.rev mine }
+        else begin
+          List.iter (fun it -> Queue.add it uq) mine;
+          { uq; u_recvd = [] }
+        end);
+    fp_step =
+      (fun view ~round:_ st ~inbox ~emit ->
+        let v = view.Sim.node in
+        let k = Sim.inbox_len inbox in
+        if v = tree.root then begin
+          for i = 0 to k - 1 do
+            st.u_recvd <- Sim.inbox_msg inbox i :: st.u_recvd
+          done;
+          st
+        end
+        else begin
+          for i = 0 to k - 1 do
+            Queue.add (Sim.inbox_msg inbox i) st.uq
+          done;
+          (match Queue.take_opt st.uq with
+          | Some item -> emit ~dst:tree.parent.(v) item
+          | None -> ());
+          st
+        end);
+    fp_is_done = (fun st -> Queue.is_empty st.uq);
+    fp_msg_bits = bits;
+    fp_wake = Some Sim.never;
+  }
+
+let upcast ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree) ~items
+    ~bits =
+  if flat = Some true then begin
+    let states, stats =
+      Telemetry.span_opt telemetry "upcast" (fun () ->
+          Sim.run_flat ?observer ?faults ?telemetry ?jobs g
+            (upcast_flat ~tree ~items ~bits))
+    in
+    List.rev states.(tree.root).u_recvd, stats
+  end
+  else begin
   let proto : ('a up_state, 'a) Sim.protocol =
     {
       init =
@@ -33,10 +88,11 @@ let upcast ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
   in
   let states, stats =
     Telemetry.span_opt telemetry "upcast" (fun () ->
-        Sim.run ?observer ?telemetry g proto)
+        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
   in
   let root_state = states.(tree.root) in
   List.rev root_state.received, stats
+  end
 
 type ('a, 'b) dedup_state = {
   d_pending : 'a list;
@@ -44,8 +100,8 @@ type ('a, 'b) dedup_state = {
   d_received : 'a list;
 }
 
-let upcast_dedup ?observer ?telemetry ?(per_key = 1) g ~(tree : Bfs.tree) ~items
-    ~key ~bits =
+let upcast_dedup ?observer ?faults ?telemetry ?flat ?jobs ?(per_key = 1) g
+    ~(tree : Bfs.tree) ~items ~key ~bits =
   (* Keep an item iff its key has fewer than [per_key] distinct items so
      far and the item itself is new. *)
   let admit seen it k =
@@ -91,7 +147,10 @@ let upcast_dedup ?observer ?telemetry ?(per_key = 1) g ~(tree : Bfs.tree) ~items
   in
   let states, stats =
     Telemetry.span_opt telemetry "upcast_dedup" (fun () ->
-        Sim.run ?observer ?telemetry g proto)
+        (* The per-node seen-table makes this inherently boxed; [~flat:true]
+           still runs it on the flat engine through the adapter (the wake
+           hook is physically [never], so sparse scheduling is preserved). *)
+        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
   in
   let root_state = states.(tree.root) in
   List.rev root_state.d_received, stats
@@ -105,7 +164,8 @@ type 'a seq_state = {
   s_received : 'a list;  (** root only, reversed *)
 }
 
-let upcast_sequential ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
+let upcast_sequential ?observer ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
+    ~items ~bits =
   (* Precompute the departure schedule. *)
   let schedule = Hashtbl.create 16 in
   let clock = ref 0 in
@@ -158,7 +218,7 @@ let upcast_sequential ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
   in
   let states, stats =
     Telemetry.span_opt telemetry "upcast_sequential" (fun () ->
-        Sim.run ?observer ?telemetry g proto)
+        Sim.run ?observer ?telemetry ?flat ?jobs g proto)
   in
   List.rev states.(tree.root).s_received, stats
 
@@ -167,7 +227,52 @@ type 'a down_state = {
   got : 'a list;  (** all items seen, reversed *)
 }
 
-let broadcast ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
+(* Native flat-engine state for {!broadcast}: forward queue plus in-place
+   arrival log, mirroring [up_fstate].  One item leaves the queue per round
+   whether or not the node has children, matching the classic protocol's
+   drain behaviour (and hence its round count) exactly. *)
+type 'a down_fstate = { dq : 'a Queue.t; mutable d_got : 'a list }
+
+let broadcast_flat ~(tree : Bfs.tree) ~items ~bits :
+    ('a down_fstate, 'a) Sim.flat_protocol =
+  {
+    fp_init =
+      (fun view ->
+        let dq = Queue.create () in
+        if view.Sim.node = tree.root then begin
+          List.iter (fun it -> Queue.add it dq) items;
+          { dq; d_got = List.rev items }
+        end
+        else { dq; d_got = [] });
+    fp_step =
+      (fun view ~round:_ st ~inbox ~emit ->
+        let v = view.Sim.node in
+        let k = Sim.inbox_len inbox in
+        for i = 0 to k - 1 do
+          let it = Sim.inbox_msg inbox i in
+          Queue.add it st.dq;
+          st.d_got <- it :: st.d_got
+        done;
+        (match Queue.take_opt st.dq with
+        | Some item -> List.iter (fun c -> emit ~dst:c item) tree.children.(v)
+        | None -> ());
+        st);
+    fp_is_done = (fun st -> Queue.is_empty st.dq);
+    fp_msg_bits = bits;
+    fp_wake = Some Sim.never;
+  }
+
+let broadcast ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
+    ~items ~bits =
+  if flat = Some true then begin
+    let states, stats =
+      Telemetry.span_opt telemetry "broadcast" (fun () ->
+          Sim.run_flat ?observer ?faults ?telemetry ?jobs g
+            (broadcast_flat ~tree ~items ~bits))
+    in
+    Array.map (fun st -> List.rev st.d_got) states, stats
+  end
+  else begin
   let proto : ('a down_state, 'a) Sim.protocol =
     {
       init =
@@ -199,9 +304,10 @@ let broadcast ?observer ?telemetry g ~(tree : Bfs.tree) ~items ~bits =
   in
   let states, stats =
     Telemetry.span_opt telemetry "broadcast" (fun () ->
-        Sim.run ?observer ?telemetry g proto)
+        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
   in
   Array.map (fun st -> List.rev st.got) states, stats
+  end
 
 type 'a agg_state = {
   waiting : int;  (** children not yet heard from *)
@@ -209,7 +315,61 @@ type 'a agg_state = {
   sent : bool;
 }
 
-let aggregate ?observer ?telemetry g ~(tree : Bfs.tree) ~value ~combine ~bits =
+(* Native flat-engine state for {!aggregate}.  The classic protocol uses a
+   round-0 wake hook to kick off the leaves; here the completion test is
+   [waiting = 0 && (sent || root)] instead, so a leaf starts not-done, fires
+   its report on its round-0 step, and everything afterwards is mail-driven
+   — which lets the port declare [wake = Some Sim.never] and ride the
+   sparse active list.  Message schedule and quiescence round are identical
+   to the classic protocol (the extra classic wake steps are no-ops). *)
+type 'a agg_fstate = {
+  mutable a_waiting : int;
+  mutable a_acc : 'a;
+  mutable a_sent : bool;
+  a_root : bool;
+}
+
+let aggregate_flat ~(tree : Bfs.tree) ~value ~combine ~bits :
+    ('a agg_fstate, 'a) Sim.flat_protocol =
+  {
+    fp_init =
+      (fun view ->
+        let v = view.Sim.node in
+        {
+          a_waiting = List.length tree.children.(v);
+          a_acc = value v;
+          a_sent = false;
+          a_root = v = tree.root;
+        });
+    fp_step =
+      (fun view ~round:_ st ~inbox ~emit ->
+        let v = view.Sim.node in
+        let k = Sim.inbox_len inbox in
+        for i = 0 to k - 1 do
+          st.a_waiting <- st.a_waiting - 1;
+          st.a_acc <- combine st.a_acc (Sim.inbox_msg inbox i)
+        done;
+        if st.a_waiting = 0 && (not st.a_sent) && not st.a_root then begin
+          st.a_sent <- true;
+          emit ~dst:tree.parent.(v) st.a_acc
+        end;
+        st);
+    fp_is_done = (fun st -> st.a_waiting = 0 && (st.a_sent || st.a_root));
+    fp_msg_bits = bits;
+    fp_wake = Some Sim.never;
+  }
+
+let aggregate ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
+    ~value ~combine ~bits =
+  if flat = Some true then begin
+    let states, stats =
+      Telemetry.span_opt telemetry "aggregate" (fun () ->
+          Sim.run_flat ?observer ?faults ?telemetry ?jobs g
+            (aggregate_flat ~tree ~value ~combine ~bits))
+    in
+    states.(tree.root).a_acc, stats
+  end
+  else begin
   let proto : ('a agg_state, 'a) Sim.protocol =
     {
       init =
@@ -245,12 +405,13 @@ let aggregate ?observer ?telemetry g ~(tree : Bfs.tree) ~value ~combine ~bits =
   in
   let states, stats =
     Telemetry.span_opt telemetry "aggregate" (fun () ->
-        Sim.run ?observer ?telemetry g proto)
+        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
   in
   states.(tree.root).acc, stats
+  end
 
-let count_nodes ?observer ?telemetry g ~tree =
-  aggregate ?observer ?telemetry g ~tree
+let count_nodes ?observer ?telemetry ?flat ?jobs g ~tree =
+  aggregate ?observer ?telemetry ?flat ?jobs g ~tree
     ~value:(fun _ -> 1)
     ~combine:( + )
     ~bits:(fun x -> Dsf_util.Bitsize.int_bits (max 1 x))

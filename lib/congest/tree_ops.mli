@@ -10,11 +10,23 @@
 
     Every operation takes an optional [?telemetry]: the run is profiled
     under a span named after the primitive ([upcast], [broadcast],
-    [aggregate], ...) nested in the caller's current span. *)
+    [aggregate], ...) nested in the caller's current span.
+
+    [~flat:true] selects the native flat-engine ports of {!upcast},
+    {!broadcast} and {!aggregate} (queue-based in-place states on
+    {!Sim.run_flat}, with [?jobs] domains) — bit-identical stats, results
+    and observer traces; {!upcast_dedup} and {!upcast_sequential} run
+    through the flat engine's boxed adapter instead.  [~flat:false]
+    forces the classic active engine; omitting [flat] defers to
+    {!Sim.run}'s engine selection.  [?faults] injects a deterministic
+    fault plan (active or flat engine only). *)
 
 val upcast :
   ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -26,7 +38,10 @@ val upcast :
 
 val upcast_dedup :
   ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   ?per_key:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
@@ -43,6 +58,8 @@ val upcast_dedup :
 val upcast_sequential :
   ?observer:Sim.observer ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -56,7 +73,10 @@ val upcast_sequential :
 
 val broadcast :
   ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:'a list ->
@@ -67,7 +87,10 @@ val broadcast :
 
 val aggregate :
   ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   value:(int -> 'a) ->
@@ -80,6 +103,8 @@ val aggregate :
 val count_nodes :
   ?observer:Sim.observer ->
   ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   int * Sim.stats

@@ -41,6 +41,8 @@ type result = {
 val run :
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Instance.ic ->
   result
 (** Requires a connected graph.  Singleton components are dropped
@@ -50,4 +52,12 @@ val run :
     {!Dsf_congest.Sim.with_observer}.  [telemetry] profiles the run as a
     span tree ([minimalize] / [setup] / [phase] / [final], with the
     simulated primitives nested beneath) and attaches the ledger so every
-    charged entry lands in its enclosing span. *)
+    charged entry lands in its enclosing span.
+
+    [~flat:true] runs every simulated subroutine on the flat-core engine —
+    native ports where they exist (BFS, Bellman-Ford decomposition,
+    boundary exchange, filtered upcast, tree ops, token flood), the boxed
+    adapter elsewhere — with [?jobs] domains; the result, ledger, stats,
+    and observer traces are bit-identical to the classic engines.
+    [~flat:false] forces the classic active engine; omitting [flat]
+    defers to {!Dsf_congest.Sim.run}'s engine selection. *)

@@ -8,7 +8,10 @@
 
 val token_flood :
   ?observer:Dsf_congest.Sim.observer ->
+  ?faults:Dsf_congest.Sim.faults ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Graph.t ->
   parent:int array ->
   seeds:bool array ->
@@ -16,4 +19,15 @@ val token_flood :
 (** Returns the selected edge ids and the simulation stats.  [parent.(v)]
     is the frozen region-tree parent (-1 at region roots); [seeds] marks
     the nodes that start with a token.  [observer] taps the run's messages
-    (per-run, domain-safe). *)
+    (per-run, domain-safe).
+
+    [~flat:true] runs the native flat-engine port on
+    {!Dsf_congest.Sim.run_flat} with [?jobs] domains: node state is one
+    immediate int (a {!Dsf_util.Pack} layout of pending, forwarded, and
+    marked edge id + 1) and tokens are bare ints, with the sparse scheduler
+    tracking the token wavefront instead of the classic full sweep.
+    Selected edges, rounds, messages, bits, and observer traces are
+    bit-identical to the classic protocol (differential suite enforced).
+    [~flat:false] forces the classic active engine; omitting [flat] defers
+    to {!Dsf_congest.Sim.run}'s engine selection.  [faults] injects a
+    fault plan (active or flat engine only). *)

@@ -56,11 +56,11 @@ let khan_hook :
          depend on dsf_baseline or avoid Khan_baseline")
 [@@lint.allow "global-state"]
 
-let solve_ic ?(jobs = 1) ?observer ?telemetry algo inst =
+let solve_ic ?(jobs = 1) ?observer ?telemetry ?flat algo inst =
   let tspan name f = Dsf_congest.Telemetry.span_opt telemetry name f in
   match algo with
   | Det ->
-      let r = Det_dsf.run ?observer ?telemetry inst in
+      let r = Det_dsf.run ?observer ?telemetry ?flat ~jobs inst in
       of_ledger algo inst r.Det_dsf.solution r.Det_dsf.weight
         (Some (Frac.to_float r.Det_dsf.dual))
         (Some r.Det_dsf.ledger)
@@ -87,9 +87,11 @@ let solve_ic ?(jobs = 1) ?observer ?telemetry algo inst =
         (Some (Frac.to_float r.Moat.dual))
         None
 
-let solve_cr ?jobs ?observer ?telemetry algo cr =
-  let out = Transform.cr_to_ic ?observer ?telemetry cr in
-  let report = solve_ic ?jobs ?observer ?telemetry algo out.Transform.value in
+let solve_cr ?jobs ?observer ?telemetry ?flat algo cr =
+  let out = Transform.cr_to_ic ?observer ?telemetry ?flat ?jobs cr in
+  let report =
+    solve_ic ?jobs ?observer ?telemetry ?flat algo out.Transform.value
+  in
   let ledger =
     match report.ledger with
     | Some l ->
@@ -106,7 +108,7 @@ let solve_cr ?jobs ?observer ?telemetry algo cr =
     ledger;
   }
 
-let compare_all ?jobs ?observer ?telemetry ?algorithms inst =
+let compare_all ?jobs ?observer ?telemetry ?flat ?algorithms inst =
   let algorithms =
     match algorithms with
     | Some l -> l
@@ -118,5 +120,5 @@ let compare_all ?jobs ?observer ?telemetry ?algorithms inst =
           Khan_baseline { repetitions = 3; seed = 1 };
         ]
   in
-  List.map (fun a -> solve_ic ?jobs ?observer ?telemetry a inst) algorithms
+  List.map (fun a -> solve_ic ?jobs ?observer ?telemetry ?flat a inst) algorithms
   |> List.sort (fun a b -> compare a.weight b.weight)

@@ -34,12 +34,20 @@ val solve_ic :
   ?jobs:int ->
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
   algorithm ->
   Dsf_graph.Instance.ic ->
   report
 (** [jobs] (default 1) parallelizes the trial fan-out of algorithms that
-    have one ({!algorithm.Rand}'s repetitions) on the {!Dsf_util.Pool};
-    results are bit-identical for every [jobs] value.
+    have one ({!algorithm.Rand}'s repetitions) on the {!Dsf_util.Pool},
+    and sizes the flat engine's domain pool under [~flat:true]; results
+    are bit-identical for every [jobs] value.
+
+    [~flat:true] runs {!algorithm.Det}'s simulated subroutines on the
+    flat-core engine (native ports + boxed adapter, see {!Det_dsf.run});
+    other algorithms currently ignore it.  [~flat:false] forces the
+    classic active engine; omitting [flat] defers to
+    {!Dsf_congest.Sim.run}'s engine selection.
 
     [observer] taps every simulated run of the chosen algorithm.
     [telemetry] profiles it: the distributed algorithms open their own
@@ -51,6 +59,7 @@ val solve_cr :
   ?jobs:int ->
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
   algorithm ->
   Dsf_graph.Instance.cr ->
   report
@@ -62,6 +71,7 @@ val compare_all :
   ?jobs:int ->
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
   ?algorithms:algorithm list ->
   Dsf_graph.Instance.ic ->
   report list

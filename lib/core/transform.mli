@@ -19,13 +19,19 @@ type 'a outcome = {
 val cr_to_ic :
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Instance.cr ->
   Dsf_graph.Instance.ic outcome
 (** The resulting labels are the smallest terminal id in each request
-    component, matching the construction in the proof of Lemma 2.3. *)
+    component, matching the construction in the proof of Lemma 2.3.
+    [flat]/[jobs] select the simulation engine for every subroutine
+    (see {!Dsf_congest.Bfs.build}); results are engine-invariant. *)
 
 val minimalize :
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
   Dsf_graph.Instance.ic ->
   Dsf_graph.Instance.ic outcome

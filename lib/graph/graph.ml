@@ -20,7 +20,14 @@ type t = {
   n : int;
   edges : edge array;
   adj : (int * int * int) array array;
-  csr : csr;
+  (* Build-once memo of the CSR view.  Deferred so graphs that are never
+     simulated (centralized references, transform intermediates) skip the
+     O(m) construction, and memoized so multi-phase algorithms share one
+     physical view across every primitive call.  The race on this field is
+     benign: concurrent forcing builds equal views and one pointer write
+     wins atomically — but the flat engine still forces it before fanning
+     out domains so workers never build it. *)
+  mutable csr_memo : csr option;
 }
 
 let build_csr ~n edges adj =
@@ -106,7 +113,7 @@ let make_arr ~n triples =
       adj.(e.v).(fill.(e.v)) <- (e.u, e.w, e.id);
       fill.(e.v) <- fill.(e.v) + 1)
     edges;
-  { n; edges; adj; csr = build_csr ~n edges adj }
+  { n; edges; adj; csr_memo = None }
 
 let make ~n edge_triples = make_arr ~n (Array.of_list edge_triples)
 
@@ -122,11 +129,16 @@ let edge g id = g.edges.(id)
 let adj g v = g.adj.(v)
 let degree g v = Array.length g.adj.(v)
 
-let csr g = g.csr
+let csr g =
+  match g.csr_memo with
+  | Some c -> c
+  | None ->
+      let c = build_csr ~n:g.n g.edges g.adj in
+      g.csr_memo <- Some c;
+      c
 
-let csr_pos g ~src ~dst:d =
-  let c = g.csr in
-  if src < 0 || src >= g.n then -1
+let pos c ~src ~dst:d =
+  if src < 0 || src + 1 >= Array.length c.off then -1
   else begin
     let lo = ref c.off.(src) and hi = ref (c.off.(src + 1) - 1) in
     let found = ref (-1) in
@@ -143,6 +155,8 @@ let csr_pos g ~src ~dst:d =
     done;
     !found
   end
+
+let csr_pos g ~src ~dst = pos (csr g) ~src ~dst
 
 let max_degree g =
   let d = ref 0 in
@@ -168,9 +182,10 @@ let other_endpoint g ~eid v =
   end
 
 let find_edge g u v =
-  match csr_pos g ~src:u ~dst:v with
+  let c = csr g in
+  match pos c ~src:u ~dst:v with
   | -1 -> None
-  | p -> Some g.csr.eid.(p)
+  | p -> Some c.eid.(p)
 
 let connected_components g =
   let uf = Dsf_util.Union_find.create g.n in

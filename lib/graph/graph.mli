@@ -64,12 +64,23 @@ val adj : t -> int -> (int * int * int) array
 (** [adj g v] is the array of [(neighbor, weight, edge_id)] for [v]. *)
 
 val csr : t -> csr
-(** The flat CSR view (built once at construction; read-only). *)
+(** The flat CSR view, built on first use and memoized on the graph: every
+    call returns the same physical value, so multi-phase algorithms (and the
+    flat engine's per-message accounting) share one view instead of
+    reconstructing it per primitive call.  The memo write is a benign race
+    under domains (equal views, atomic pointer store), but callers that fan
+    out domains should force it once up front — {!Dsf_congest.Sim.run_flat}
+    does. *)
 
 val csr_pos : t -> src:int -> dst:int -> int
 (** [csr_pos g ~src ~dst] is the directed CSR position of the edge from
     [src] to [dst], or [-1] if no such edge exists (or [src] is out of
-    range).  O(log degree) binary search, no allocation. *)
+    range).  O(log degree) binary search, no allocation (beyond forcing the
+    memo on first use). *)
+
+val pos : csr -> src:int -> dst:int -> int
+(** {!csr_pos} on an already-forced view — the hot-path variant for inner
+    loops that resolve one position per delivered message. *)
 
 val degree : t -> int -> int
 val max_degree : t -> int

@@ -97,6 +97,13 @@ let sim_globals_allowlist =
    deterministic under an injected clock. *)
 let wall_clock_allowlist = [ "lib/congest/telemetry.ml" ]
 
+(* The one library file that may use bounds-unchecked accessors without an
+   inline allow: [Dsf_util.Pack] is the repo's sanctioned bit-twiddling
+   site — every packed-word layout, range check, and shift lives there, so
+   protocol code manipulates fields through its width-checked API instead
+   of hand-rolled masks. *)
+let pack_allowlist = [ "lib/util/pack.ml" ]
+
 (* The one file that may construct and mutate inbox/outbox structures and
    invoke protocol [step] fields: the simulator itself. *)
 let congest_exempt = [ "lib/congest/sim.ml" ]
@@ -265,13 +272,15 @@ let check_ident ctx ~loc lid =
   if
     String.starts_with ~prefix:"unsafe_" (last_comp lid)
     && List.exists (fun m -> List.mem m comps) unsafe_modules
+    && not (List.mem ctx.file pack_allowlist)
   then
     emit ctx ~loc ~rule:rule_unsafe
       ~message:(Printf.sprintf "bounds-unchecked access `%s'" p)
       ~hint:
         "use the checked accessor, or keep the access behind an explicit \
          bounds check and mark the proven site with [@lint.allow \
-         \"unsafe-array\"]";
+         \"unsafe-array\"] — or route the bit manipulation through \
+         Dsf_util.Pack, the sanctioned packing site";
   (* nondet: seeding/IO-free determinism contract. *)
   (match p with
   | "Random.self_init" | "Random.init" | "Random.full_init" ->

@@ -1,0 +1,59 @@
+(* Width-checked bit-packing for flat-protocol states and messages.
+
+   Native flat protocols keep whole node states and whole messages in one
+   immediate OCaml int so the simulator's arena inboxes stay unboxed.  This
+   module is the single sanctioned place where field widths are declared and
+   checked: a port declares its layout once ([layout]), and every [put] is
+   range-checked against the declared width, so an encoding bug surfaces as
+   an [Invalid_argument] at the write site instead of silent corruption of a
+   neighboring field.
+
+   All values are non-negative; a protocol that needs a sentinel (e.g. BFS's
+   "unreached") keeps it outside the packed domain as a negative int.  The
+   total width of a layout is capped at 62 bits so any packed word is a valid
+   non-negative OCaml immediate on 64-bit platforms. *)
+
+type field = { off : int; width : int; mask : int }
+
+let max_total_width = 62
+
+let field_width f = f.width
+
+let layout widths =
+  let fields =
+    List.fold_left
+      (fun (off, acc) w ->
+        if w < 1 then invalid_arg "Pack.layout: field width must be >= 1";
+        if off + w > max_total_width then
+          invalid_arg "Pack.layout: total width exceeds 62 bits";
+        (off + w, { off; width = w; mask = (1 lsl w) - 1 } :: acc))
+      (0, []) widths
+    |> snd |> List.rev |> Array.of_list
+  in
+  if Array.length fields = 0 then invalid_arg "Pack.layout: empty layout";
+  fields
+
+let total_width fields =
+  Array.fold_left (fun acc f -> acc + f.width) 0 fields
+
+let fits f v = v >= 0 && v lsr f.width = 0
+
+let put f v packed =
+  if not (fits f v) then
+    invalid_arg
+      (Printf.sprintf "Pack.put: value %d does not fit in %d bits" v f.width);
+  packed lor (v lsl f.off)
+
+let set f v packed =
+  if not (fits f v) then
+    invalid_arg
+      (Printf.sprintf "Pack.set: value %d does not fit in %d bits" v f.width);
+  (packed land lnot (f.mask lsl f.off)) lor (v lsl f.off)
+
+let get f packed = (packed lsr f.off) land f.mask
+
+(* Smallest width that can represent every value in [0 .. v]; at least 1 so
+   a zero-valued field still occupies a slot. *)
+let width_of_max v =
+  if v < 0 then invalid_arg "Pack.width_of_max: negative maximum";
+  Bitsize.int_bits (max 1 v)

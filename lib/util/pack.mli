@@ -1,0 +1,53 @@
+(** Width-checked bit-packing helpers for flat-protocol encodings.
+
+    The flat simulator engine ({!Dsf_congest.Sim.run_flat}) delivers messages
+    through typed arenas that are unboxed exactly when the message (and state)
+    type is an immediate int.  Native protocol ports therefore pack small
+    tuples — (distance, source, hops), (parent, depth, flags) — into single
+    ints.  This module centralizes those encodings so they are auditable in
+    one place: each port declares a {!layout} of field widths, and every
+    {!put}/{!set} is range-checked against the declared width.
+
+    Invariants enforced:
+    - every field width is at least 1 bit;
+    - the total width of a layout is at most 62 bits, so any packed word is a
+      non-negative OCaml immediate on 64-bit platforms (negative ints remain
+      free for out-of-band sentinels such as "unreached");
+    - a value written to a field must satisfy [0 <= v < 2^width], otherwise
+      [Invalid_argument] is raised at the write site.
+
+    This is the sanctioned bit-twiddling site for the repo: dsf-lint's
+    packing discipline points here, and ports should not hand-roll shifts and
+    masks elsewhere. *)
+
+type field
+(** One named slot of a layout: an offset and a checked width. *)
+
+val layout : int list -> field array
+(** [layout widths] allocates consecutive fields of the given widths starting
+    at bit 0.  Raises [Invalid_argument] if any width is < 1, the total
+    exceeds 62 bits, or the list is empty. *)
+
+val total_width : field array -> int
+(** Sum of the field widths of a layout. *)
+
+val field_width : field -> int
+
+val fits : field -> int -> bool
+(** [fits f v] is true iff [0 <= v < 2^(width f)]. *)
+
+val put : field -> int -> int -> int
+(** [put f v packed] ors [v] into field [f] of [packed], assuming the field
+    is currently zero (the common "build a fresh word" path — one [lor], no
+    clearing).  Raises [Invalid_argument] if [v] does not fit. *)
+
+val set : field -> int -> int -> int
+(** [set f v packed] replaces the current contents of field [f] with [v]
+    (clears then ors).  Raises [Invalid_argument] if [v] does not fit. *)
+
+val get : field -> int -> int
+(** [get f packed] extracts field [f] as a non-negative int. *)
+
+val width_of_max : int -> int
+(** [width_of_max v] is the smallest width whose fields can hold every value
+    in [0 .. v] (at least 1).  Raises [Invalid_argument] on negative [v]. *)

@@ -121,6 +121,20 @@ let test_make_arr_equiv () =
     (Invalid_argument "Graph.make: duplicate edge") (fun () ->
       ignore (Graph.make_arr ~n:2 [| 0, 1, 1; 1, 0, 2 |]))
 
+let test_csr_memo_reuse () =
+  (* The CSR view is built once and memoized on the graph: every force
+     returns the same physical value, including the one [find_edge] and
+     [csr_pos] take, so hot loops can hoist [Graph.csr g] and index
+     [Graph.pos] without re-deriving anything. *)
+  let g = diamond () in
+  let c1 = Graph.csr g in
+  Alcotest.(check bool) "build-once: same physical CSR" true
+    (c1 == Graph.csr g);
+  ignore (Graph.find_edge g 0 1);
+  Alcotest.(check bool) "find_edge reuses the memo" true (Graph.csr g == c1);
+  Alcotest.(check bool) "pos on the memo = csr_pos on the graph" true
+    (Graph.pos c1 ~src:0 ~dst:1 = Graph.csr_pos g ~src:0 ~dst:1)
+
 let prop_csr_consistent =
   QCheck.Test.make ~name:"CSR invariants on random graphs" ~count:30
     QCheck.(int_range 0 10_000)
@@ -510,6 +524,7 @@ let suites =
         Alcotest.test_case "edge set weight" `Quick test_edge_set_weight;
         Alcotest.test_case "csr diamond" `Quick test_csr_diamond;
         Alcotest.test_case "make_arr equivalence" `Quick test_make_arr_equiv;
+        Alcotest.test_case "csr memo reuse" `Quick test_csr_memo_reuse;
         qtest prop_csr_consistent;
       ] );
     ( "graph.paths",

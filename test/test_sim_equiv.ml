@@ -412,6 +412,240 @@ let prop_flat_native_bfs =
         f1;
       !same_tree && stats_eq t_classic t1 && f1 = f4 && stats_eq t1 t4)
 
+(* ---------------------------------------------------- flat native ports *)
+
+(* Every primitive ported natively to the flat engine must be bit-identical
+   to its classic protocol — result, stats, and observer trace — with
+   telemetry on, under a duplicate-only fault plan (drop/crash plans can
+   legitimately stall an upcast forever, so the lossy legs stick to
+   duplication), and for any domain count.  Legs per primitive:
+   native flat at jobs 1/2/4, the classic active engine, and the classic
+   protocol through the flat engine's boxed adapter (via the deprecated
+   shim, which this file is allowlisted to touch). *)
+let with_flat_shim f =
+  Sim.use_flat_engine := true;
+  Fun.protect ~finally:(fun () -> Sim.use_flat_engine := false) f
+
+let record_leg f =
+  let log = ref [] in
+  let observer ~src ~dst ~bits = log := (src, dst, bits) :: !log in
+  let telemetry = Telemetry.create ~clock:(fun () -> 0L) () in
+  let r = f ~observer ~telemetry in
+  r, List.rev !log
+
+let dup_plan seed = Fault.plan ~duplicate:0.15 ~seed ()
+
+let prop_flat_native_bellman_ford =
+  QCheck.Test.make
+    ~name:"Bellman-Ford native flat = classic (faults, telemetry, jobs)"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 11) in
+      let k = 1 + Dsf_util.Rng.int r 3 in
+      let sources =
+        List.init k (fun _ -> Dsf_util.Rng.int r n, Dsf_util.Rng.int r 5)
+      in
+      let radius =
+        if Dsf_util.Rng.int r 2 = 0 then Some (5 + Dsf_util.Rng.int r 20)
+        else None
+      in
+      let leg ?faults ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Bellman_ford.run ?radius ~observer ?faults ~telemetry ?flat ?jobs
+              g ~sources)
+      in
+      let base = leg ~flat:false () in
+      let faulty ?flat ?jobs () =
+        leg ~faults:(Fault.instantiate (dup_plan seed)) ?flat ?jobs ()
+      in
+      base = leg ~flat:true ~jobs:1 ()
+      && base = leg ~flat:true ~jobs:2 ()
+      && base = leg ~flat:true ~jobs:4 ()
+      && base = with_flat_shim (fun () -> leg ())
+      && faulty ~flat:false () = faulty ~flat:true ~jobs:2 ())
+
+let prop_flat_native_region_bf =
+  QCheck.Test.make
+    ~name:"Region-BF native flat = classic (faults, telemetry, jobs)"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 13) in
+      let k = 1 + Dsf_util.Rng.int r 3 in
+      let sources =
+        List.init k (fun i ->
+            let v = Dsf_util.Rng.int r n in
+            let off = Dsf_core.Frac.half (Dsf_core.Frac.of_int (Dsf_util.Rng.int r 6)) in
+            v, off, i)
+      in
+      let frozen =
+        Array.init n (fun v ->
+            Dsf_util.Rng.int r 6 = 0
+            && not (List.exists (fun (s, _, _) -> s = v) sources))
+      in
+      let leg ?faults ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Dsf_core.Region_bf.run ~observer ?faults ~telemetry ?flat ?jobs g
+              ~sources ~frozen)
+      in
+      let base = leg ~flat:false () in
+      let faulty ?flat ?jobs () =
+        leg ~faults:(Fault.instantiate (dup_plan seed)) ?flat ?jobs ()
+      in
+      base = leg ~flat:true ~jobs:1 ()
+      && base = leg ~flat:true ~jobs:2 ()
+      && base = leg ~flat:true ~jobs:4 ()
+      && base = with_flat_shim (fun () -> leg ())
+      && faulty ~flat:false () = faulty ~flat:true ~jobs:2 ())
+
+let prop_flat_native_tree_ops =
+  QCheck.Test.make
+    ~name:"tree ops native flat = classic (faults, telemetry, jobs)"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let tree = fst (Bfs.build g ~root:(seed mod n)) in
+      let bits x = Dsf_util.Bitsize.int_bits (max 1 x) in
+      let up ?faults ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Tree_ops.upcast ~observer ?faults ~telemetry ?flat ?jobs g ~tree
+              ~items:(fun v -> [ v; v + n ])
+              ~bits)
+      in
+      let bc ?faults ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Tree_ops.broadcast ~observer ?faults ~telemetry ?flat ?jobs g
+              ~tree ~items:[ 1; 2; 3 ] ~bits)
+      in
+      (* Duplicates corrupt the child-count handshake of [aggregate] (in
+         both engines alike, but not necessarily to the same final state),
+         so the aggregate legs stay lossless. *)
+      let ag ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Tree_ops.aggregate ~observer ~telemetry ?flat ?jobs g ~tree
+              ~value:Fun.id ~combine:( + ) ~bits)
+      in
+      let dup () = Fault.instantiate (dup_plan seed) in
+      let base_up = up ~flat:false () in
+      let base_bc = bc ~flat:false () in
+      let base_ag = ag ~flat:false () in
+      base_up = up ~flat:true ~jobs:1 ()
+      && base_up = up ~flat:true ~jobs:4 ()
+      && base_up = with_flat_shim (fun () -> up ())
+      && base_bc = bc ~flat:true ~jobs:1 ()
+      && base_bc = bc ~flat:true ~jobs:4 ()
+      && base_bc = with_flat_shim (fun () -> bc ())
+      && base_ag = ag ~flat:true ~jobs:1 ()
+      && base_ag = ag ~flat:true ~jobs:4 ()
+      && base_ag = with_flat_shim (fun () -> ag ())
+      && up ~faults:(dup ()) ~flat:false ()
+         = up ~faults:(dup ()) ~flat:true ~jobs:2 ()
+      && bc ~faults:(dup ()) ~flat:false ()
+         = bc ~faults:(dup ()) ~flat:true ~jobs:2 ())
+
+let prop_flat_native_pipeline =
+  QCheck.Test.make
+    ~name:"filtered upcast native flat = classic (faults, stop, jobs)"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 17) in
+      let tree = fst (Bfs.build g ~root:(Dsf_util.Rng.int r n)) in
+      let vn = 10 in
+      let items_all =
+        List.init 20 (fun i ->
+            let a = Dsf_util.Rng.int r vn and b = Dsf_util.Rng.int r vn in
+            if a = b then None
+            else Some (Dsf_util.Rng.int r n, { Pipeline.key = i; a; b }))
+        |> List.filter_map Fun.id
+      in
+      let items v =
+        List.filter (fun (h, _) -> h = v) items_all |> List.map snd
+      in
+      let leg ?faults ?flat ?jobs ?stop_at_root () =
+        record_leg (fun ~observer ~telemetry ->
+            Pipeline.filtered_upcast ~observer ?faults ~telemetry ?flat ?jobs
+              ?stop_at_root g ~tree ~vn ~pre:[] ~items ~cmp:compare
+              ~bits:(fun _ -> 16))
+      in
+      let base = leg ~flat:false () in
+      let stop acc = List.length acc >= 3 in
+      let faulty ?flat ?jobs () =
+        leg ~faults:(Fault.instantiate (dup_plan seed)) ?flat ?jobs ()
+      in
+      base = leg ~flat:true ~jobs:1 ()
+      && base = leg ~flat:true ~jobs:2 ()
+      && base = leg ~flat:true ~jobs:4 ()
+      && base = with_flat_shim (fun () -> leg ())
+      && leg ~flat:false ~stop_at_root:stop ()
+         = leg ~flat:true ~jobs:2 ~stop_at_root:stop ()
+      && faulty ~flat:false () = faulty ~flat:true ~jobs:2 ())
+
+let prop_flat_native_select_exchange =
+  QCheck.Test.make
+    ~name:"token flood + exchange native flat = classic (faults, jobs)"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Graph.n g in
+      let r = rng (seed + 19) in
+      let tree = fst (Bfs.build g ~root:(seed mod n)) in
+      let parent = tree.Bfs.parent in
+      let seeds = Array.init n (fun _ -> Dsf_util.Rng.int r 3 = 0) in
+      let tf ?faults ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Dsf_core.Select.token_flood ~observer ?faults ~telemetry ?flat
+              ?jobs g ~parent ~seeds)
+      in
+      let ex ?faults ?flat ?jobs () =
+        record_leg (fun ~observer ~telemetry ->
+            Exchange.all_neighbors ~observer ?faults ~telemetry ?flat ?jobs g
+              ~payload_bits:9)
+      in
+      let base_tf = tf ~flat:false () and base_ex = ex ~flat:false () in
+      let dup () = Fault.instantiate (dup_plan seed) in
+      base_tf = tf ~flat:true ~jobs:1 ()
+      && base_tf = tf ~flat:true ~jobs:4 ()
+      && base_tf = with_flat_shim (fun () -> tf ())
+      && base_ex = ex ~flat:true ~jobs:1 ()
+      && base_ex = ex ~flat:true ~jobs:4 ()
+      && base_ex = with_flat_shim (fun () -> ex ())
+      && tf ~faults:(dup ()) ~flat:false () = tf ~faults:(dup ()) ~flat:true ~jobs:2 ()
+      && ex ~faults:(dup ()) ~flat:false () = ex ~faults:(dup ()) ~flat:true ~jobs:2 ())
+
+let test_det_dsf_flat_e2e () =
+  (* Full solve: every subroutine on the flat engine (native ports where
+     they exist, the adapter elsewhere) must reproduce the classic result
+     bit for bit, for any domain count. *)
+  let r = rng 77 in
+  let g = Gen.random_connected r ~n:60 ~extra_edges:60 ~max_w:12 in
+  let labels = Gen.spread_labels r g ~t:12 ~k:4 in
+  let inst = Instance.make_ic g labels in
+  let run ?flat ?jobs () =
+    let res = Dsf_core.Det_dsf.run ?flat ?jobs inst in
+    ( res.Dsf_core.Det_dsf.solution,
+      res.Dsf_core.Det_dsf.weight,
+      res.Dsf_core.Det_dsf.dual,
+      res.Dsf_core.Det_dsf.merges,
+      res.Dsf_core.Det_dsf.phase_count,
+      res.Dsf_core.Det_dsf.max_edge_round_bits,
+      Ledger.simulated res.Dsf_core.Det_dsf.ledger,
+      Ledger.charged res.Dsf_core.Det_dsf.ledger )
+  in
+  let base = run ~flat:false () in
+  Alcotest.(check bool) "flat jobs=1" true (base = run ~flat:true ~jobs:1 ());
+  Alcotest.(check bool) "flat jobs=4" true (base = run ~flat:true ~jobs:4 ())
+
 let test_flat_adapter_inbox_order () =
   (* The adapter's inbox_list must present arrival order exactly as the
      classic engines build inboxes: senders ascending, send order within
@@ -451,6 +685,13 @@ let suites =
         qtest prop_flat_equiv_lossless;
         qtest prop_flat_jobs_invariant;
         qtest prop_flat_native_bfs;
+        qtest prop_flat_native_bellman_ford;
+        qtest prop_flat_native_region_bf;
+        qtest prop_flat_native_tree_ops;
+        qtest prop_flat_native_pipeline;
+        qtest prop_flat_native_select_exchange;
+        Alcotest.test_case "det_dsf end-to-end on the flat engine" `Quick
+          test_det_dsf_flat_e2e;
         Alcotest.test_case "flat adapter inbox order" `Quick
           test_flat_adapter_inbox_order;
         Alcotest.test_case "single node" `Quick test_single_node;
