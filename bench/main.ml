@@ -10,6 +10,13 @@
    dune exec bench/main.exe -- chaos       -- hardened-vs-lossless differential
                                               smoke under a fixed fault plan
                                               (exits nonzero on divergence)
+   dune exec bench/main.exe -- chaos-soak  -- crash-recovery soak: plan class
+                                              x protocol x engine matrix at
+                                              n=1024, recovered final states
+                                              must equal lossless (exits
+                                              nonzero on divergence; prints a
+                                              post-mortem on a round-limit
+                                              abort)
    dune exec bench/main.exe -- flatcheck   -- flat-vs-active engine differential
                                               smoke (exits nonzero on divergence)
 
@@ -26,7 +33,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|ablations|micro|smoke|chaos|flatcheck] \
+    "usage: main.exe [all|tables|ablations|micro|smoke|chaos|chaos-soak|flatcheck] \
      [--jobs N] [--out PATH] [--trace PATH] \
      [--trace-format console|jsonl|chrome]";
   exit 2
@@ -76,6 +83,7 @@ let () =
   if what = "all" || what = "micro" then Micro.run ~jobs ~out ();
   if what = "smoke" then Micro.smoke ~jobs ~out ();
   if what = "all" || what = "chaos" then Chaos.run ();
+  if what = "chaos-soak" then Chaos.soak ();
   if what = "flatcheck" then Micro.flat_check ();
   (match trace_sink with
   | Some (format, path) -> Micro.write_trace ~format path

@@ -9,7 +9,7 @@
    - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
      measurement quota — fast enough for every-PR CI (bin/ci.sh).
 
-   Both modes write BENCH_sim.json (schema dsf-bench-sim/6: ns/run, minor GC
+   Both modes write BENCH_sim.json (schema dsf-bench-sim/7: ns/run, minor GC
    words/run, rounds/s, the active/reference/flat speedups, plus
    provenance — git_rev, utc_date, jobs, cores — a parallel_scaling
    section timing the pooled fan-outs at jobs = 1 / 2 / max (each row
@@ -21,7 +21,10 @@
    section with end-to-end flat det_dsf solves on path / random / gadget
    instances at the same sizes, a fault_overhead section
    tabulating the round/message/retransmission cost of Fault.harden at
-   increasing drop probability, and a phase_profile section with the
+   increasing drop probability, a fault_recovery section tabulating the
+   recovery rounds / retransmissions / checkpoint bits / wall overhead of
+   checkpointed crash recovery at increasing crash-window counts on the E1
+   and A6 workloads (fault-free baselines inline), and a phase_profile section with the
    telemetry span tree of the E1 and A6 workloads — per-phase rounds,
    messages and bits under an injected constant clock) so later PRs can
    diff simulator performance against this one.  Each parallel_scaling workload carries a
@@ -893,6 +896,145 @@ let phase_profile () =
   run_profiled_workloads tel;
   flatten_profile tel
 
+(* --------------------------------------------------------- fault recovery *)
+
+(* Crash-recovery cost vs crash rate: the A6 hardened leader flood and the
+   E1 det_dsf solve, each checkpoint-hardened under a fixed drop/duplicate
+   plan with an increasing number of crash-restart windows.  Every counted
+   field (rounds, retransmissions, recovery rounds, checkpoint bits) is
+   driven by the plan's PRF and jobs-invariant; [rv_wall_overhead] is the
+   one measured field, stripped by the ci.sh jobs diff alongside the other
+   wall-clock keys. *)
+
+type recovery_row = {
+  rv_workload : string;
+  rv_crash_windows : int;
+  rv_base_rounds : int;  (* fault-free baseline *)
+  rv_rounds : int;
+  rv_retrans : int;
+  rv_restores : int option;
+      (* None for det_dsf legs: restores happen inside the primitives'
+         hardened runs and have no ledger attribution to recover them
+         from post-hoc (unlike retransmissions / recovery rounds) *)
+  rv_recovery_rounds : int;
+  rv_checkpoint_bits : int;
+  rv_wall_overhead : float;  (* hardened wall / fault-free wall *)
+  rv_masked : bool;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Distinct crash nodes for up to 6 windows at the sizes used here, all in
+   the early rounds so they bite before the protocols quiesce. *)
+let recovery_plan ~n ~windows ~seed =
+  let crashes =
+    List.init windows (fun i ->
+        ((53 * (i + 1)) mod n, 1 + (i mod 5), 4 + (i mod 5) + (i mod 3)))
+  in
+  Dsf_congest.Fault.plan ~drop:0.05 ~duplicate:0.02 ~crashes ~seed ()
+
+let recovery_leader ~windows =
+  let g = Lazy.force shared_graph in
+  let n = Dsf_graph.Graph.n g in
+  let proto = Dsf_congest.Leader.protocol g in
+  let (lossless, base), base_wall = timed (fun () -> Sim.run g proto) in
+  let plan = recovery_plan ~n ~windows ~seed:808 in
+  let hardened =
+    Dsf_congest.Fault.harden ~recovery:(Dsf_congest.Fault.immutable ()) proto
+  in
+  let (hs, stats), wall =
+    timed (fun () ->
+        Sim.run
+          ~halt:(Dsf_congest.Fault.quiescent proto)
+          ~faults:(Dsf_congest.Fault.instantiate plan)
+          g hardened)
+  in
+  let rs = Dsf_congest.Fault.recovery_of hs in
+  {
+    rv_workload = "A6 leader";
+    rv_crash_windows = windows;
+    rv_base_rounds = base.Sim.rounds;
+    rv_rounds = stats.Sim.rounds;
+    rv_retrans = Dsf_congest.Fault.retransmissions_of hs;
+    rv_restores = Some rs.Dsf_congest.Fault.restores;
+    rv_recovery_rounds = rs.Dsf_congest.Fault.recovery_rounds;
+    rv_checkpoint_bits = rs.Dsf_congest.Fault.checkpoint_bits;
+    rv_wall_overhead = wall /. base_wall;
+    rv_masked = Array.map Dsf_congest.Fault.inner hs = lossless;
+  }
+
+let recovery_det_dsf ~windows =
+  let r = Dsf_util.Rng.create 100 in
+  let g = Gen.random_connected r ~n:40 ~extra_edges:30 ~max_w:10 in
+  let labels = Gen.random_labels r ~n:40 ~t:8 ~k:3 in
+  let inst = Inst.make_ic g labels in
+  let base, base_wall = timed (fun () -> Dsf_core.Det_dsf.run inst) in
+  let plan = recovery_plan ~n:40 ~windows ~seed:909 in
+  let tel = Telemetry.create ~clock:(fun () -> 0L) () in
+  let res, wall =
+    timed (fun () ->
+        Dsf_core.Det_dsf.run ~telemetry:tel
+          ~chaos:(Dsf_congest.Fault.chaos plan)
+          inst)
+  in
+  (* The recovery counters of the inner hardened primitives land on the
+     "hardened" telemetry spans: the only ledger adds made while such a
+     span is open are the hardened runner's own — retransmissions plus
+     recovery rounds as Simulated, checkpoint bits as Charged (det_dsf's
+     result-ledger adds happen after each primitive's span closes) — so
+     the totals fall out of the profile. *)
+  let retrans = ref 0 and sim = ref 0 and ckpt = ref 0 in
+  List.iter
+    (fun row ->
+      let p = row.path and s = "/hardened" in
+      let lp = String.length p and ls = String.length s in
+      if (lp >= ls && String.sub p (lp - ls) ls = s) || p = "hardened" then begin
+        retrans := !retrans + row.p_retrans;
+        sim := !sim + row.p_ledger_sim;
+        ckpt := !ckpt + row.p_ledger_charged
+      end)
+    (flatten_profile tel);
+  let total l = Dsf_congest.Ledger.total l in
+  {
+    rv_workload = "E1 det_dsf";
+    rv_crash_windows = windows;
+    rv_base_rounds = total base.Dsf_core.Det_dsf.ledger;
+    rv_rounds = total res.Dsf_core.Det_dsf.ledger;
+    rv_retrans = !retrans;
+    rv_restores = None;
+    rv_recovery_rounds = !sim - !retrans;
+    rv_checkpoint_bits = !ckpt;
+    rv_wall_overhead = wall /. base_wall;
+    rv_masked =
+      res.Dsf_core.Det_dsf.solution = base.Dsf_core.Det_dsf.solution
+      && res.Dsf_core.Det_dsf.weight = base.Dsf_core.Det_dsf.weight
+      && Dsf_core.Frac.compare res.Dsf_core.Det_dsf.dual
+           base.Dsf_core.Det_dsf.dual
+         = 0;
+  }
+
+let fault_recovery () =
+  let windows = [ 0; 2; 6 ] in
+  List.map (fun w -> recovery_leader ~windows:w) windows
+  @ List.map (fun w -> recovery_det_dsf ~windows:w) windows
+
+let print_fault_recovery fr =
+  Format.printf "@.%-14s %7s %16s %8s %9s %11s %10s %7s %7s@."
+    "fault recovery" "crashes" "rounds (vs)" "retrans" "restores" "rec rounds"
+    "ckpt bits" "wall x" "masked";
+  List.iter
+    (fun v ->
+      Format.printf "%-14s %7d %9d (%4d) %8d %9s %11d %10d %7.2f %7s@."
+        v.rv_workload v.rv_crash_windows v.rv_rounds v.rv_base_rounds
+        v.rv_retrans
+        (match v.rv_restores with Some r -> string_of_int r | None -> "-")
+        v.rv_recovery_rounds v.rv_checkpoint_bits v.rv_wall_overhead
+        (if v.rv_masked then "yes" else "NO"))
+    fr
+
 (* bench/main.exe --trace: the same workloads under the real clock, written
    through the requested sink. *)
 let write_trace ~format path =
@@ -957,10 +1099,10 @@ let json_float x =
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
   else Printf.sprintf "%.1f" x
 
-let write_json ~mode ~jobs rows sp scaling fo flat e2e profile path =
+let write_json ~mode ~jobs rows sp scaling fo fr flat e2e profile path =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"schema\": \"dsf-bench-sim/6\",\n  \"mode\": %S,\n" mode;
+  p "{\n  \"schema\": \"dsf-bench-sim/7\",\n  \"mode\": %S,\n" mode;
   p "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   p "  \"utc_date\": \"%s\",\n" (utc_date ());
   p "  \"jobs\": %d,\n" jobs;
@@ -1052,6 +1194,25 @@ let write_json ~mode ~jobs rows sp scaling fo flat e2e profile path =
         f.retransmissions f.fdropped f.masked
         (if i = List.length fo - 1 then "" else ","))
     fo;
+  p "  ],\n  \"fault_recovery\": [\n";
+  List.iteri
+    (fun i v ->
+      let wall =
+        let w = v.rv_wall_overhead in
+        if Float.is_nan w || w = Float.infinity then "null"
+        else Printf.sprintf "%.3f" w
+      in
+      p
+        "    {\"workload\": \"%s\", \"crash_windows\": %d, \"base_rounds\": \
+         %d, \"rounds\": %d, \"retransmissions\": %d, \"restores\": %s, \
+         \"recovery_rounds\": %d, \"checkpoint_bits\": %d, \
+         \"wall_overhead\": %s, \"masked\": %b}%s\n"
+        (json_escape v.rv_workload) v.rv_crash_windows v.rv_base_rounds
+        v.rv_rounds v.rv_retrans
+        (match v.rv_restores with Some r -> string_of_int r | None -> "null")
+        v.rv_recovery_rounds v.rv_checkpoint_bits wall v.rv_masked
+        (if i = List.length fr - 1 then "" else ","))
+    fr;
   p "  ],\n  \"phase_profile\": [\n";
   List.iteri
     (fun i r ->
@@ -1084,8 +1245,10 @@ let run ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_e2e e2e;
   let fo = fault_overhead () in
   print_fault_overhead fo;
-  write_json ~mode:"micro" ~jobs rows sp scaling fo flat e2e (phase_profile ())
-    out
+  let fr = fault_recovery () in
+  print_fault_recovery fr;
+  write_json ~mode:"micro" ~jobs rows sp scaling fo fr flat e2e
+    (phase_profile ()) out
 
 (* Smoke caps the flat sweeps at n=4096 and the e2e solve at n=256: the
    full n=16384 legs cost tens of seconds each and belong to `-- micro`;
@@ -1105,5 +1268,7 @@ let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_e2e e2e;
   let fo = fault_overhead () in
   print_fault_overhead fo;
-  write_json ~mode:"smoke" ~jobs rows sp scaling fo flat e2e (phase_profile ())
-    out
+  let fr = fault_recovery () in
+  print_fault_recovery fr;
+  write_json ~mode:"smoke" ~jobs rows sp scaling fo fr flat e2e
+    (phase_profile ()) out

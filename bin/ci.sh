@@ -43,6 +43,39 @@ mkdir -p "$scratch"
 # divergence, the timeout catches a retransmit livelock.
 with_timeout 300 dune exec bench/main.exe -- chaos
 
+# Chaos soak: the crash-recovery matrix (plan class x protocol x engine)
+# at n=1024 — every leg runs hardened with checkpointed recovery and must
+# land on the lossless final states.  A round-limit abort prints the
+# structured post-mortem before the nonzero exit; the wall-clock timeout
+# catches anything that wedges below the round limit.
+with_timeout 600 dune exec bench/main.exe -- chaos-soak
+
+# End-to-end chaos differential: a full det_dsf solve under a seeded
+# maskable chaos plan (drops + duplicates + finite link outages +
+# crash-restart with recovery) must produce the same solution and
+# certificate as the fault-free solve, on both engines.  Only the
+# solution/certificate lines are compared — round counts legitimately
+# differ (the synchronizer pays for the faults).
+chaos_extract() { grep -E '^(solution weight|certified)' "$1"; }
+with_timeout 300 dune exec bin/dsf_cli.exe -- solve --algo det \
+  --topology random --nodes 96 --terminals 12 --components 4 --seed 7 \
+  > "$scratch/solve_ff.out"
+with_timeout 600 dune exec bin/dsf_cli.exe -- solve --algo det \
+  --topology random --nodes 96 --terminals 12 --components 4 --seed 7 \
+  --chaos 5 > "$scratch/solve_chaos.out"
+with_timeout 600 dune exec bin/dsf_cli.exe -- solve --algo det \
+  --topology random --nodes 96 --terminals 12 --components 4 --seed 7 \
+  --chaos 5 --flat --jobs 2 > "$scratch/solve_chaos_flat.out"
+chaos_extract "$scratch/solve_ff.out" > "$scratch/solve_ff.key"
+for leg in solve_chaos solve_chaos_flat; do
+  chaos_extract "$scratch/$leg.out" > "$scratch/$leg.key"
+  if ! diff -u "$scratch/solve_ff.key" "$scratch/$leg.key"; then
+    echo "ci: det_dsf $leg diverged from the fault-free solve" >&2
+    exit 1
+  fi
+done
+echo "ci: det_dsf chaos differential ok (classic + flat j2, n=96)"
+
 # Flat-engine smoke: stock workloads through the flat-core engine must
 # reproduce the active engine's states, trees and stats exactly (the
 # standalone counterpart of the qcheck differential suite).
@@ -64,7 +97,7 @@ with_timeout 600 dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/benc
 # (jobs, utc_date); everything left must match exactly.
 strip_timing() {
   sed -E \
-    -e 's/"(ns_per_run|r_square|minor_words_per_run|minor_words_per_round|rounds_per_sec|active_ns|reference_ns|flat_ns|flat_speedup|speedup_vs_j1|speedup_vs_active|speedup|wall_ns)": [^,}]*/"\1": _/g' \
+    -e 's/"(ns_per_run|r_square|minor_words_per_run|minor_words_per_round|rounds_per_sec|active_ns|reference_ns|flat_ns|flat_speedup|speedup_vs_j1|speedup_vs_active|speedup|wall_ns|wall_overhead)": [^,}]*/"\1": _/g' \
     -e 's/"(utc_date|jobs)": [^,}]*/"\1": _/g' \
     "$1"
 }

@@ -66,7 +66,7 @@ let write_trace = function
       if path <> "-" then Format.printf "wrote trace to %s@." path
 
 let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
-    flat trace trace_format =
+    flat chaos_seed trace trace_format =
   let sink = trace_sink trace trace_format in
   let telemetry = telemetry_of_sink sink in
   let rng = Dsf_util.Rng.create seed in
@@ -77,11 +77,22 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
     (Graph.m g) d wd s
     (Instance.terminal_count inst)
     (Instance.component_count inst);
+  (match chaos_seed with
+  | Some _ when algo <> "det" ->
+      invalid_arg "--chaos is only supported with --algo det"
+  | Some cs -> Format.printf "chaos: seed=%d (crash-recovery hardened)@." cs
+  | None -> ());
+  let chaos =
+    Option.map
+      (fun cs ->
+        Dsf_congest.Fault.chaos (Dsf_congest.Fault.chaos_plan ~seed:cs g))
+      chaos_seed
+  in
   let weight, solution, ledger =
     match algo with
     | "det" ->
         let flat = if flat then Some true else None in
-        let r = Dsf_core.Det_dsf.run ?telemetry ?flat ~jobs inst in
+        let r = Dsf_core.Det_dsf.run ?telemetry ?flat ?chaos ~jobs inst in
         r.Dsf_core.Det_dsf.weight, r.Dsf_core.Det_dsf.solution, Some r.Dsf_core.Det_dsf.ledger
     | "sublinear" ->
         let r = Dsf_core.Det_sublinear.run ?telemetry ~eps_num:1 ~eps_den inst in
@@ -120,7 +131,8 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
         let flat = if flat then Some true else None in
         Some
           (Dsf_core.Frac.to_float
-             (Dsf_core.Det_dsf.run ?flat ~jobs inst).Dsf_core.Det_dsf.dual)
+             (Dsf_core.Det_dsf.run ?flat ?chaos ~jobs
+                inst).Dsf_core.Det_dsf.dual)
     | _ -> None
   in
   (match Dsf_core.Certify.check ?dual inst ~solution with
@@ -297,6 +309,17 @@ let flat_arg =
            engine (native ports + boxed adapter); results are bit-identical \
            to the classic engines")
 
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "inject a seeded maskable chaos plan (message drops, duplicates, \
+           finite link outages, crash-restart with checkpointed recovery) \
+           into every simulated subroutine of the det algorithm; the \
+           solution is bit-identical to the fault-free run")
+
 let solve_term =
   let algo = Arg.(value & opt string "det" & info [ "algo" ] ~doc:"det | sublinear | rand | khan | moat") in
   let eps_den = Arg.(value & opt int 2 & info [ "eps-den" ] ~doc:"eps = 1/eps-den for sublinear") in
@@ -310,7 +333,7 @@ let solve_term =
   Term.(
     const solve_cmd $ algo $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
     $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg $ flat_arg
-    $ trace_arg $ trace_format_arg)
+    $ chaos_arg $ trace_arg $ trace_format_arg)
 
 let compare_term =
   Term.(

@@ -229,7 +229,7 @@ let flat_protocol ?weight_of ?radius g ~sources =
   end
 
 let run ?weight_of ?radius ?max_rounds ?observer ?faults ?telemetry ?flat ?jobs
-    g ~sources =
+    ?chaos g ~sources =
   let n = Graph.n g in
   let dist = Array.make n max_int in
   let src_of = Array.make n (-1) in
@@ -244,7 +244,8 @@ let run ?weight_of ?radius ?max_rounds ?observer ?faults ?telemetry ?flat ?jobs
     end
   in
   let native =
-    if flat = Some true then flat_protocol ?weight_of ?radius g ~sources
+    if Option.is_none chaos && flat = Some true then
+      flat_protocol ?weight_of ?radius g ~sources
     else None
   in
   let stats =
@@ -262,8 +263,8 @@ let run ?weight_of ?radius ?max_rounds ?observer ?faults ?telemetry ?flat ?jobs
         let proto = protocol ?weight_of ?radius g ~sources in
         let states, stats =
           Telemetry.span_opt telemetry "bellman_ford" (fun () ->
-              Sim.run ?max_rounds ?observer ?faults ?telemetry ?flat ?jobs g
-                proto)
+              Fault.sim_run ?max_rounds ?observer ?faults ?telemetry ?flat
+                ?jobs ?chaos ~recovery:(Fault.immutable ()) g proto)
         in
         Array.iteri
           (fun v (st : state) ->

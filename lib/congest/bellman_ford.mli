@@ -61,6 +61,7 @@ val run :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   sources:(int * int) list ->
   result * Sim.stats

@@ -145,13 +145,13 @@ let tree_of_parent_depth ~root ~parent ~depth =
   let height = Array.fold_left max 0 depth in
   { root; parent; depth; children; height }
 
-let build ?observer ?telemetry ?flat ?jobs g ~root =
+let build ?observer ?telemetry ?flat ?jobs ?chaos g ~root =
   let n = Graph.n g in
   (* Precondition check: on a disconnected graph the flood never reaches
      everyone and the simulation would spin to its round limit. *)
   if not (Graph.is_connected g) then
     invalid_arg "Bfs.build: disconnected graph";
-  if flat = Some true then begin
+  if Option.is_none chaos && flat = Some true then begin
     (* Native port: run on the flat engine directly and decode the packed
        states.  Tree and stats are bit-identical to the classic path. *)
     let states, stats =
@@ -173,7 +173,8 @@ let build ?observer ?telemetry ?flat ?jobs g ~root =
   else begin
   let states, stats =
     Telemetry.span_opt telemetry "bfs" (fun () ->
-        Sim.run ?observer ?telemetry ?flat ?jobs g (protocol ~root))
+        Fault.sim_run ?observer ?telemetry ?flat ?jobs ?chaos
+          ~recovery:(Fault.immutable ()) g (protocol ~root))
   in
   let parent = Array.make n (-1) in
   let depth = Array.make n 0 in

@@ -40,6 +40,7 @@ val build :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   root:int ->
   tree * Sim.stats

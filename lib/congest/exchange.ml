@@ -34,8 +34,9 @@ let flat_protocol ~payload_bits : (int, int) Sim.flat_protocol =
     fp_wake = Some Sim.never;
   }
 
-let all_neighbors ?observer ?faults ?telemetry ?flat ?jobs g ~payload_bits =
-  if flat = Some true then
+let all_neighbors ?observer ?faults ?telemetry ?flat ?jobs ?chaos g
+    ~payload_bits =
+  if Option.is_none chaos && flat = Some true then
     let _, stats =
       Telemetry.span_opt telemetry "neighbor_exchange" (fun () ->
           Sim.run_flat ?observer ?faults ?telemetry ?jobs g
@@ -45,7 +46,7 @@ let all_neighbors ?observer ?faults ?telemetry ?flat ?jobs g ~payload_bits =
   else
     let _, stats =
       Telemetry.span_opt telemetry "neighbor_exchange" (fun () ->
-          Sim.run ?observer ?faults ?telemetry ?flat ?jobs g
-            (protocol ~payload_bits))
+          Fault.sim_run ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+            ~recovery:(Fault.immutable ()) g (protocol ~payload_bits))
     in
     stats

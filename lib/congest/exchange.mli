@@ -19,6 +19,7 @@ val all_neighbors :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   payload_bits:int ->
   Sim.stats

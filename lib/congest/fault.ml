@@ -36,6 +36,7 @@ let plan ?(drop = 0.) ?(duplicate = 0.) ?(link_down = []) ?(crashes = []) ~seed
 let is_empty p =
   p.drop = 0. && p.duplicate = 0. && p.link_down = [] && p.crashes = []
 
+let maskable ?(with_recovery = false) p = with_recovery || p.crashes = []
 let drop_only p = p.crashes = [] && p.link_down = []
 
 (* Stateless PRF: every (round, src, dst, salt) tuple hashes to an
@@ -89,11 +90,45 @@ let instantiate p : Sim.faults =
   in
   { Sim.on_send; down; retransmissions = ref 0 }
 
+(* A ready-made maskable chaos plan: drops, duplications, a few finite
+   outage windows on real edges, and a few crash-and-restart windows.  All
+   choices are PRF draws from the seed, so the plan is a pure function of
+   (seed, graph) — the chaos soak and the differential suites replay it
+   bit-exactly.  Counts scale gently with n; windows are placed in the
+   first ~2n physical rounds, where every subroutine of a solve spends its
+   early (and most vulnerable) life. *)
+let chaos_plan ~seed g =
+  let n = Graph.n g in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let draw i salt range = 1 + (prf ~seed ~round:i ~src:0 ~dst:0 ~salt mod range) in
+  let horizon = max 8 (2 * n) in
+  let k = 2 + (n / 512) in
+  let link_down =
+    if m = 0 then []
+    else
+      List.init k (fun i ->
+          let e = Graph.edge g (draw i 31 m - 1) in
+          let r0 = draw i 32 horizon in
+          let len = draw i 33 6 in
+          (e.Graph.u, e.Graph.v, r0, r0 + len - 1))
+  in
+  let crashes =
+    List.init k (fun i ->
+        let v = draw i 41 n - 1 in
+        let c = draw i 42 horizon in
+        let len = draw i 43 8 in
+        (v, c, c + len))
+  in
+  plan ~drop:0.05 ~duplicate:0.02 ~link_down ~crashes ~seed ()
+
 (* ----------------------------------------------------------------------- *)
 (* The hardening combinator: a reliable link layer plus an alpha-           *)
 (* synchronizer, so the wrapped protocol executes its lossless round        *)
 (* schedule exactly — inbox contents, arrival rounds and delivery order    *)
-(* included — no matter how many messages the network drops or clones.     *)
+(* included — no matter how many messages the network drops or clones,     *)
+(* how long links stay dark, or (with a recovery contract) how often       *)
+(* nodes crash and restart.                                                *)
 (* ----------------------------------------------------------------------- *)
 
 (* Stream items carried by the link layer.  [Fin r] closes the sender's
@@ -120,11 +155,66 @@ type ('s, 'm) hstate = {
       (** per link: delivered payloads not yet consumed, arrival order *)
   need_ack : bool array;
   mutable retrans : int;  (** this node's total retransmitted packets *)
+  mutable restores : int;  (** checkpoint restores (restarts survived) *)
+  mutable resync : int;
+      (** physical rounds spent post-restore before the first inner round *)
+  mutable recovering : bool;
+  mutable ckpt_bits : int;  (** total bits written to stable storage *)
 }
 
 let inner st = st.inner
 let retransmissions_of states =
   Array.fold_left (fun acc st -> acc + st.retrans) 0 states
+
+type recovery_stats = {
+  restores : int;
+  recovery_rounds : int;
+  checkpoint_bits : int;
+}
+
+let recovery_of states =
+  Array.fold_left
+    (fun acc (st : (_, _) hstate) ->
+      {
+        restores = acc.restores + st.restores;
+        recovery_rounds = acc.recovery_rounds + st.resync;
+        checkpoint_bits = acc.checkpoint_bits + st.ckpt_bits;
+      })
+    { restores = 0; recovery_rounds = 0; checkpoint_bits = 0 }
+    states
+
+(* ------------------------------------------------------------ recovery *)
+
+(* What [harden] needs to checkpoint a protocol: a deep copy of the inner
+   state (so later in-place mutation cannot corrupt the stable-storage
+   image) and its stable-storage footprint in bits (accounting only). *)
+type 's recoverable = { snapshot : 's -> 's; state_bits : 's -> int }
+
+let immutable ?(state_bits = fun _ -> 63) () = { snapshot = Fun.id; state_bits }
+
+(* A faithful deep copy of the link-layer state.  [links] and [idx] are
+   write-once at init, so sharing them is safe; the queues hold immutable
+   list/tuple spines, so copying the arrays suffices. *)
+let copy_hstate rc st =
+  {
+    inner = rc.snapshot st.inner;
+    vround = st.vround;
+    links = st.links;
+    idx = st.idx;
+    next_seq = Array.copy st.next_seq;
+    outq = Array.copy st.outq;
+    last_tx = Array.copy st.last_tx;
+    rto = Array.copy st.rto;
+    in_upto = Array.copy st.in_upto;
+    fin_upto = Array.copy st.fin_upto;
+    pending = Array.copy st.pending;
+    need_ack = Array.copy st.need_ack;
+    retrans = st.retrans;
+    restores = st.restores;
+    resync = st.resync;
+    recovering = st.recovering;
+    ckpt_bits = st.ckpt_bits;
+  }
 
 (* A node is virtually quiescent when its inner protocol is done, it holds
    no unacknowledged payload (nothing of consequence in flight), and it has
@@ -148,15 +238,20 @@ let quiescent proto states =
 let default_rto = 3
 let default_rto_cap = 32
 
-let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
+let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?recovery
     (proto : ('s, 'm) Sim.protocol) :
     (('s, 'm) hstate, 'm packet) Sim.protocol =
   if rto < 3 then invalid_arg "Fault.harden: rto below the 2-round ack latency";
   if rto_cap < rto then invalid_arg "Fault.harden: rto_cap < rto";
-  let global_retrans =
-    match faults with Some f -> Some f.Sim.retransmissions | None -> None
-  in
-  let init view =
+  (* Stable storage, one slot per node, lazily sized from the first view.
+     The engines build every initial state on the coordinator before any
+     fan-out and a restarted node is re-inited by the domain that owns it,
+     so each slot is only ever touched by its owner — domain-safe at any
+     [jobs].  The array belongs to this [harden] instance: a hardened
+     protocol with recovery is single-run (build a fresh one per run, as
+     [sim_run] and [run_hardened] do). *)
+  let stable = ref [||] in
+  let fresh_init view =
     let deg = Array.length view.Sim.nbrs in
     let links = Array.map (fun (nb, _, _) -> nb) view.Sim.nbrs in
     Array.sort compare links;
@@ -176,7 +271,52 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
       pending = Array.make deg [];
       need_ack = Array.make deg false;
       retrans = 0;
+      restores = 0;
+      resync = 0;
+      recovering = false;
+      ckpt_bits = 0;
     }
+  in
+  let init view =
+    match recovery with
+    | None -> fresh_init view
+    | Some rc -> begin
+        if Array.length !stable = 0 then stable := Array.make view.Sim.n None;
+        match !stable.(view.Sim.node) with
+        | None -> fresh_init view
+        | Some ckpt ->
+            (* Crash-and-restart: resume from the last checkpoint instead
+               of a fresh init.  The copy keeps the stored image pristine;
+               the go-back-N windows inside it make both stream directions
+               heal by retransmission from the last acknowledged seq. *)
+            let st = copy_hstate rc ckpt in
+            st.restores <- st.restores + 1;
+            st.recovering <- true;
+            !stable.(view.Sim.node) <- Some (copy_hstate rc st);
+            st
+      end
+  in
+  (* Stable-storage footprint of one full checkpoint (write-through: every
+     step rewrites the node's image, so this is charged per step). *)
+  let hstate_bits rc st =
+    let item_bits = function
+      | Fin { vround } -> Bitsize.int_bits (max 1 vround)
+      | Payload { vround; body } ->
+          Bitsize.int_bits (max 1 vround) + proto.Sim.msg_bits body
+    in
+    let b = ref (rc.state_bits st.inner + Bitsize.int_bits (max 1 st.vround)) in
+    let deg = Array.length st.links in
+    for j = 0 to deg - 1 do
+      b := !b + (4 * Bitsize.int_bits (max 1 st.next_seq.(j)));
+      List.iter
+        (fun (s, it) -> b := !b + Bitsize.int_bits (max 1 s) + item_bits it)
+        st.outq.(j);
+      List.iter
+        (fun (vr, m) ->
+          b := !b + Bitsize.int_bits (max 1 vr) + proto.Sim.msg_bits m)
+        st.pending.(j)
+    done;
+    !b
   in
   let step view ~round:p st ~inbox =
     let deg = Array.length st.links in
@@ -233,6 +373,7 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
       in
       st.inner <- inner';
       st.vround <- r + 1;
+      st.recovering <- false;
       List.iter
         (fun (dst, body) ->
           let j =
@@ -252,7 +393,9 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
     end;
     (* 3. Transmit: new items go out immediately; an expired timer resends
        the whole unacked window (in order, so go-back-N reception heals any
-       gap) with exponential backoff. *)
+       gap) with exponential backoff.  The backoff caps at [rto_cap], so
+       resends keep firing forever — that is what rides out finite link
+       outages and crash windows instead of merely probabilistic drops. *)
     let packets = ref [] in
     for j = deg - 1 downto 0 do
       let dst = st.links.(j) in
@@ -269,7 +412,6 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
         if timed_out then begin
           let n_re = List.length had in
           st.retrans <- st.retrans + n_re;
-          (match global_retrans with Some c -> c := !c + n_re | None -> ());
           st.rto.(j) <- min (2 * st.rto.(j)) rto_cap;
           st.outq.(j)
         end
@@ -280,6 +422,16 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
         (fun (s, item) -> packets := (dst, Pkt { seq = s; item }) :: !packets)
         (List.rev to_send)
     done;
+    (* 4. Checkpoint (write-through): every step ends by persisting a deep
+       copy of the whole hardened state, so a crash at any later round
+       resumes from exactly this image.  The recovery counters live inside
+       the image, which keeps them consistent across repeated crashes. *)
+    (match recovery with
+    | None -> ()
+    | Some rc ->
+        if st.recovering then st.resync <- st.resync + 1;
+        st.ckpt_bits <- st.ckpt_bits + hstate_bits rc st;
+        !stable.(view.Sim.node) <- Some (copy_hstate rc st));
     st, !packets
   in
   let packet_bits = function
@@ -303,13 +455,78 @@ let harden ?(rto = default_rto) ?(rto_cap = default_rto_cap) ?faults
     wake = None;
   }
 
+(* Post-run bookkeeping shared by the hardened runners: fold the per-node
+   retransmission counters into the stats (the engine-level counter was
+   removed — a per-step global bump is not domain-safe at [jobs > 1]) and
+   attribute the recovery work to the enclosing telemetry span. *)
+let note_hardened telemetry states (stats : Sim.stats) =
+  let retrans = retransmissions_of states in
+  let rs = recovery_of states in
+  (match telemetry with
+  | Some tel ->
+      if retrans > 0 then
+        Telemetry.sim_run tel ~rounds:0 ~messages:0 ~bits:0
+          ~max_edge_round_bits:0 ~budget_violations:0 ~dropped:0 ~duplicated:0
+          ~retransmissions:retrans;
+      if retrans > 0 || rs.restores > 0 || rs.checkpoint_bits > 0 then begin
+        let l = Ledger.create () in
+        Telemetry.attach_ledger tel l;
+        Ledger.add l Ledger.Simulated "fault/retransmissions" retrans;
+        Ledger.add l Ledger.Simulated "fault/recovery_rounds"
+          rs.recovery_rounds;
+        Ledger.add l Ledger.Charged "fault/checkpoint_bits" rs.checkpoint_bits
+      end
+  | None -> ());
+  { stats with Sim.retransmissions = retrans }
+
 let run_hardened ?max_rounds ?rto ?rto_cap ?observer ?telemetry
-    ?(plan = empty) g proto =
+    ?(plan = empty) ?recovery g proto =
   let faults = if is_empty plan then None else Some (instantiate plan) in
-  let hardened = harden ?rto ?rto_cap ?faults proto in
+  let hardened = harden ?rto ?rto_cap ?recovery proto in
   let halt = quiescent proto in
   let states, stats =
     Telemetry.span_opt telemetry "hardened" (fun () ->
-        Sim.run ?max_rounds ~halt ?observer ?faults ?telemetry g hardened)
+        let states, stats =
+          Sim.run ?max_rounds ~halt ?observer ?faults ?telemetry g hardened
+        in
+        states, note_hardened telemetry states stats)
   in
   Array.map (fun st -> st.inner) states, stats
+
+(* ----------------------------------------------------------- chaos runs *)
+
+type chaos = { cplan : plan; crto : int; crto_cap : int }
+
+let chaos ?(rto = default_rto) ?(rto_cap = default_rto_cap) cplan =
+  { cplan; crto = rto; crto_cap = rto_cap }
+
+let sim_run ?max_rounds ?halt ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+    ?recovery g proto =
+  match chaos with
+  | None -> Sim.run ?max_rounds ?halt ?observer ?faults ?telemetry ?flat ?jobs g proto
+  | Some c ->
+      if Option.is_some faults then
+        invalid_arg "Fault.sim_run: ?faults and ?chaos are mutually exclusive";
+      let faults = if is_empty c.cplan then None else Some (instantiate c.cplan) in
+      let hardened = harden ~rto:c.crto ~rto_cap:c.crto_cap ?recovery proto in
+      let user_halt = halt in
+      let halt hs =
+        (* Evaluate the caller's halt every physical round, exactly as the
+           lossless engines do: each inner state marches through the same
+           state sequence (at most one virtual round per physical round),
+           so a predicate that fires on the lossless run fires here on the
+           same inner configuration. *)
+        let early =
+          match user_halt with
+          | None -> false
+          | Some h -> h (Array.map (fun st -> st.inner) hs)
+        in
+        early || quiescent proto hs
+      in
+      Telemetry.span_opt telemetry "hardened" (fun () ->
+          let states, stats =
+            Sim.run ?max_rounds ~halt ?observer ?faults ?telemetry ?flat ?jobs
+              g hardened
+          in
+          let stats = note_hardened telemetry states stats in
+          Array.map (fun st -> st.inner) states, stats)

@@ -14,26 +14,49 @@
 
     - {b Hardening}: {!harden} wraps any protocol in a reliable link layer
       (per-neighbor sequence numbers, cumulative acks, go-back-N
-      retransmission with bounded timeout and exponential backoff,
+      retransmission with bounded timeout and capped exponential backoff,
       duplicate suppression) plus an alpha-synchronizer: a node executes
       its inner round [r] only after every neighbor has closed round [r]
       with a [Fin] marker, and the inner inbox is rebuilt exactly as the
       lossless engines deliver it (senders ascending, send order within a
-      sender).  Consequently, under {e any drop-only plan} (drop
-      probability < 1, duplication, finite link outages) the hardened
+      sender).  Consequently, under any {!maskable} plan the hardened
       protocol reaches the {e same final states} as the unhardened
       protocol on a lossless network — timing-sensitive protocols (e.g.
       {!Bfs}'s first-arrival parent choice) included.  The chaos suite
       ([test/test_chaos.ml]) enforces this differentially.
 
+    {b What is maskable.}  Drops (probability < 1) and duplications are
+    healed by retransmission and sequence numbers.  {e Finite} link-down
+    windows are healed the same way: the backoff caps at [rto_cap], so
+    the sender keeps probing until the link comes back (an infinite
+    outage is indistinguishable from a partitioned network and cannot be
+    masked by anyone).  Crash-and-restart is masked {e iff} the protocol
+    supplies a {!recoverable} contract: the wrapper then checkpoints the
+    whole hardened state (inner state + link-layer windows) to per-node
+    stable storage after every step, a restarted node resumes from its
+    checkpoint instead of a fresh [init], and the go-back-N machinery
+    retransmits from the last acknowledged sequence number on both sides
+    of every incident link — a crash window thus degrades into a finite
+    all-incident-links outage plus some lost in-flight packets, which the
+    reliable layer already rides out.  {!maskable} classifies a plan
+    accordingly; {!drop_only} remains as the historical, strictly
+    narrower class.  Byzantine behavior (corrupted or forged messages) is
+    outside the model entirely.
+
+    {b Determinism argument.}  The inner execution is driven only by the
+    per-link item streams, which sequence numbers make loss-, duplication-
+    and reordering-proof; a restore replays the node from a
+    stream-consistent prefix (the checkpoint is written after every step,
+    i.e. between inner rounds).  Hence every node steps through exactly
+    the lossless sequence of inner states, and the final inner states —
+    and any halt predicate evaluated on them — are bit-identical to the
+    fault-free run.  The end-to-end chaos differential ([det_dsf] under a
+    seeded {!chaos_plan}, both engines, jobs 1 and 4) pins this.
+
     {b Scope of the guarantee.}  The inner protocol must (a) quiesce on a
     lossless network and (b) satisfy the sparse-wake no-op contract of
     {!Sim} (stepping a done node with an empty inbox is a no-op) — all the
-    repo's protocols qualify.  Crash-and-restart faults are {e not}
-    masked: a restart wipes the link-layer state (sequence numbers,
-    windows), which desynchronizes the streams; hardened runs under crash
-    plans typically end in a {!Sim.Round_limit} post-mortem.  Byzantine
-    behavior (corrupted or forged messages) is outside the model entirely.
+    repo's protocols qualify.
 
     {b Termination.}  A hardened network never goes globally silent (Fin
     markers and timers keep marching), so a hardened run must be stopped
@@ -42,7 +65,8 @@
     repo's usual omniscient-halt convention ({!Sim.run}'s [?halt]); a
     real deployment would detect it with an O(D) termination-detection
     wave, which callers should charge to their ledger.
-    {!run_hardened} wires the halt (and the plan) for you. *)
+    {!run_hardened} and {!sim_run} wire the halt (and the plan) for
+    you. *)
 
 type plan = {
   seed : int;
@@ -53,7 +77,9 @@ type plan = {
           everything in rounds [first..last] (inclusive) *)
   crashes : (int * int * int) list;
       (** [(node, crash, restart)]: the node is down in rounds
-          [crash..restart-1]; on round [restart] it re-inits from scratch *)
+          [crash..restart-1]; on round [restart] it re-inits — from its
+          checkpoint when the run is hardened with a {!recoverable}
+          contract, from scratch otherwise *)
 }
 
 val empty : plan
@@ -73,15 +99,31 @@ val plan :
 
 val is_empty : plan -> bool
 
+val maskable : ?with_recovery:bool -> plan -> bool
+(** The class of plans {!harden} fully masks: drops, duplications and
+    finite link outages always; crash-and-restart additionally requires
+    running with a {!recoverable} contract ([~with_recovery:true]).
+    Every constructible plan is maskable with recovery (the {!plan}
+    validator already forbids drop probability 1 and infinite windows). *)
+
 val drop_only : plan -> bool
-(** No crashes and no link outages: the class of plans {!harden} fully
-    masks (message drops and duplications only). *)
+(** Deprecated, strictly narrower predecessor of {!maskable}: no crashes
+    {e and} no link outages.  Kept for callers that want the
+    conservative class masked by PR-3-era hardening; new code should use
+    [maskable ~with_recovery:...]. *)
 
 val instantiate : plan -> Sim.faults
-(** Compile the plan into the engine's callback record.  The record owns
-    the run's retransmission counter, so use a fresh instance per run
-    (sharing one across runs only smears the counter; the decisions
-    themselves are stateless). *)
+(** Compile the plan into the engine's callback record.  Decisions are
+    stateless, but use a fresh instance per run anyway (the record is the
+    unit of fault configuration a run consumes). *)
+
+val chaos_plan : seed:int -> Dsf_graph.Graph.t -> plan
+(** A ready-made maskable stress plan for [g], deterministic in [seed]:
+    5% drops, 2% duplications, plus a few finite link-down windows on
+    real edges and a few crash-and-restart windows, counts scaling gently
+    with n.  Always satisfies [maskable ~with_recovery:true]; used by the
+    CLI's [--chaos SEED], the chaos soak in [bin/ci.sh], and the
+    end-to-end differential suites. *)
 
 (** {2 Hardening} *)
 
@@ -99,24 +141,65 @@ val inner : ('s, 'm) hstate -> 's
 (** The wrapped protocol's state (final inner states after a run). *)
 
 val retransmissions_of : ('s, 'm) hstate array -> int
-(** Total packets retransmitted across all nodes (also surfaced as
-    [stats.retransmissions] when a faults record is passed to the run). *)
+(** Total packets retransmitted across all nodes.  The hardened runners
+    ({!run_hardened}, {!sim_run}) fold this into [stats.retransmissions];
+    the engine-level counter in {!Sim.faults} is no longer bumped from
+    inside [step] (a global per-step bump is not domain-safe at
+    [jobs > 1]). *)
+
+type recovery_stats = {
+  restores : int;  (** checkpoint restores (crash-restarts survived) *)
+  recovery_rounds : int;
+      (** physical rounds restarted nodes spent resynchronizing (after a
+          restore, before their first inner round executed) *)
+  checkpoint_bits : int;
+      (** total bits written to stable storage (write-through: one full
+          image per node per step) *)
+}
+
+val recovery_of : ('s, 'm) hstate array -> recovery_stats
+(** Aggregate recovery work across all nodes of a hardened run (all zeros
+    when the run was hardened without a {!recoverable} contract). *)
+
+type 's recoverable = {
+  snapshot : 's -> 's;
+      (** Deep copy of the inner state — everything a restarted node needs
+          to resume.  [Fun.id] iff the state is purely immutable; a state
+          holding mutable structure (Hashtbl, Queue, arrays, union-find)
+          must copy it, or later in-place mutation corrupts the stored
+          image.  Must not swallow exceptions: a failing snapshot is a
+          protocol bug, not a fault to mask (dsf-lint's catch-all rule
+          applies). *)
+  state_bits : 's -> int;
+      (** Stable-storage footprint of the inner state, for checkpoint
+          accounting only (never affects execution). *)
+}
+
+val immutable : ?state_bits:('s -> int) -> unit -> 's recoverable
+(** The contract for protocols whose per-node state is an immutable value:
+    [snapshot] is [Fun.id]; [state_bits] defaults to one word (63). *)
 
 val harden :
   ?rto:int ->
   ?rto_cap:int ->
-  ?faults:Sim.faults ->
+  ?recovery:'s recoverable ->
   ('s, 'm) Sim.protocol ->
   (('s, 'm) hstate, 'm packet) Sim.protocol
 (** Wrap a protocol with the reliable link layer + synchronizer.  [rto]
     (default 3) is the initial per-link retransmit timeout in rounds —
     it must cover the 2-round send/ack latency — doubling on every
     timeout up to [rto_cap] (default 32) and resetting on ack progress.
-    [faults] is the same record handed to {!Sim.run}; passing it lets the
-    wrapper report resends into [stats.retransmissions].
+
+    [recovery] switches on checkpointed crash recovery: the wrapper
+    writes a deep copy of the whole hardened state to per-node stable
+    storage after every step, and a node the engine re-inits (crash
+    restart) resumes from its checkpoint instead of [Sim.protocol.init].
+    A hardened protocol with recovery owns its stable storage and is
+    therefore {b single-run}: build a fresh one per run (as {!sim_run}
+    and {!run_hardened} do).
 
     The result never goes silent on its own: run it with the
-    {!quiescent} halt (or use {!run_hardened}). *)
+    {!quiescent} halt (or use {!run_hardened} / {!sim_run}). *)
 
 val quiescent : ('s, 'm) Sim.protocol -> ('s, 'm) hstate array -> bool
 (** Virtual quiescence of a hardened run of [proto] — the halt predicate:
@@ -131,12 +214,54 @@ val run_hardened :
   ?observer:Sim.observer ->
   ?telemetry:Telemetry.t ->
   ?plan:plan ->
+  ?recovery:'s recoverable ->
   Dsf_graph.Graph.t ->
   ('s, 'm) Sim.protocol ->
   's array * Sim.stats
 (** Convenience wiring: instantiate the plan (default {!empty}), harden
-    the protocol, run it under the faults with the {!quiescent} halt, and
-    unwrap the inner final states.  The stats are the {e hardened} run's
-    (packet traffic, drops, retransmissions); compare with the lossless
-    run's stats to measure the overhead.  [telemetry] profiles the run —
-    fault counters included — under a ["hardened"] span. *)
+    the protocol (with [recovery] when given), run it under the faults
+    with the {!quiescent} halt, and unwrap the inner final states.  The
+    stats are the {e hardened} run's (packet traffic, drops,
+    retransmissions); compare with the lossless run's stats to measure
+    the overhead.  [telemetry] profiles the run — fault counters,
+    retransmissions, and [fault/recovery_rounds] / [fault/checkpoint_bits]
+    ledger attributions included — under a ["hardened"] span. *)
+
+(** {2 Chaos runs: hardened drop-in for [Sim.run]} *)
+
+type chaos = { cplan : plan; crto : int; crto_cap : int }
+(** A plan plus the reliable-layer timer configuration — everything a
+    subroutine needs to run hardened, bundled so one [?chaos] argument
+    threads through a whole solve ({!Solver.solve_ic} → {!Det_dsf.run} →
+    every simulated primitive). *)
+
+val chaos : ?rto:int -> ?rto_cap:int -> plan -> chaos
+(** Bundle a plan with timer settings (defaults: rto 3, cap 32). *)
+
+val sim_run :
+  ?max_rounds:int ->
+  ?halt:('s array -> bool) ->
+  ?observer:Sim.observer ->
+  ?faults:Sim.faults ->
+  ?telemetry:Telemetry.t ->
+  ?flat:bool ->
+  ?jobs:int ->
+  ?chaos:chaos ->
+  ?recovery:'s recoverable ->
+  Dsf_graph.Graph.t ->
+  ('s, 'm) Sim.protocol ->
+  's array * Sim.stats
+(** The hardened drop-in for {!Sim.run}.  Without [?chaos] it {e is}
+    {!Sim.run} (same arguments forwarded verbatim — zero overhead on the
+    fault-free path).  With [?chaos] it instantiates the plan, hardens
+    the protocol (with [recovery] when given), runs it on the requested
+    engine ([?flat]/[?jobs] — the hardened protocol goes through the
+    boxed adapter on the flat engine), and halts on {!quiescent} {e or}
+    the caller's [halt] evaluated on the inner state vector each physical
+    round — so an omniscient early stop (e.g. [Pipeline]'s
+    [stop_at_root]) fires on exactly the same inner configuration as on
+    the lossless run.  Final inner states are unwrapped;
+    [stats.retransmissions] is folded from the per-node counters; the
+    run lands under a ["hardened"] telemetry span with recovery
+    attribution as in {!run_hardened}.  [?faults] and [?chaos] are
+    mutually exclusive ([Invalid_argument]). *)

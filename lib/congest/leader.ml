@@ -32,15 +32,20 @@ let protocol g : (state, int) Sim.protocol =
     wake = Some Sim.never;
   }
 
-let elect ?observer ?faults g =
-  let states, stats = Sim.run ?observer ?faults g (protocol g) in
-  (* Under crash-and-restart faults agreement can silently break: a node
-     restarted after the max-id wave has passed re-floods its own id, its
-     done neighbors ignore the smaller candidate and never reply, and the
-     network quiesces with the restarted node stuck on a stale leader.
-     Surface that instead of asserting: [agreed] reports whether every
-     node ended on the same leader (always true in fault-free runs, which
-     the assert keeps enforcing). *)
+let elect ?observer ?faults ?chaos g =
+  let states, stats =
+    Fault.sim_run ?observer ?faults ?chaos ~recovery:(Fault.immutable ()) g
+      (protocol g)
+  in
+  (* Under raw (unhardened) crash-and-restart faults agreement can silently
+     break: a node restarted after the max-id wave has passed re-floods its
+     own id, its done neighbors ignore the smaller candidate and never
+     reply, and the network quiesces with the restarted node stuck on a
+     stale leader.  Surface that instead of asserting: [agreed] reports
+     whether every node ended on the same leader.  Fault-free runs must
+     agree (the assert), and so must hardened runs under any maskable plan
+     — crash-restart included, since [?chaos] runs with checkpoint
+     recovery — which the chaos suite enforces differentially. *)
   let leader = Array.fold_left (fun acc st -> max acc st.best) min_int states in
   let agreed = Array.for_all (fun st -> st.best = leader) states in
   (match faults with None -> assert agreed | Some _ -> ());

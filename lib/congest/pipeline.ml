@@ -185,10 +185,10 @@ let filtered_upcast_flat ~(tree : Bfs.tree) ~vn ~pre ~items ~icmp ~bits :
     fp_wake = Some Sim.never;
   }
 
-let filtered_upcast ?observer ?faults ?telemetry ?flat ?jobs ?stop_at_root g
-    ~(tree : Bfs.tree) ~vn ~pre ~items ~cmp ~bits =
+let filtered_upcast ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+    ?stop_at_root g ~(tree : Bfs.tree) ~vn ~pre ~items ~cmp ~bits =
   let icmp = item_cmp cmp in
-  if flat = Some true then begin
+  if Option.is_none chaos && flat = Some true then begin
     let halt =
       Option.map
         (fun pred states -> pred (List.rev states.(tree.root).p_acc))
@@ -324,9 +324,37 @@ let filtered_upcast ?observer ?faults ?telemetry ?flat ?jobs ?stop_at_root g
       (fun pred states -> pred (List.rev states.(tree.root).accepted))
       stop_at_root
   in
+  (* Recovery contract: the classic state owns mutable structure (child
+     queues, the open-children set, the union-find), so the checkpoint
+     snapshot deep-copies all of it; [own]/[accepted] are immutable
+     lists.  [state_bits] counts the buffered items plus the union-find
+     image, one word each. *)
+  let recovery =
+    {
+      Fault.snapshot =
+        (fun st ->
+          let queues = Hashtbl.create (max 4 (Hashtbl.length st.queues)) in
+          Hashtbl.iter
+            (fun c q -> Hashtbl.replace queues c (Queue.copy q))
+            st.queues;
+          {
+            st with
+            queues;
+            open_children = Hashtbl.copy st.open_children;
+            uf = Uf.copy st.uf;
+          });
+      state_bits =
+        (fun st ->
+          let queued =
+            Hashtbl.fold (fun _ q acc -> acc + Queue.length q) st.queues 0
+          in
+          63 * (2 + vn + queued + List.length st.own));
+    }
+  in
   let states, stats =
     Telemetry.span_opt telemetry "filtered_upcast" (fun () ->
-        Sim.run ?halt ?observer ?faults ?telemetry ?flat ?jobs g proto)
+        Fault.sim_run ?halt ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+          ~recovery g proto)
   in
   List.rev states.(tree.root).accepted, stats
   end

@@ -23,6 +23,7 @@ val filtered_upcast :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   ?stop_at_root:('k item list -> bool) ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->

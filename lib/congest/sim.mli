@@ -77,8 +77,11 @@ type stats = {
   duplicated : int;
       (** extra copies delivered by fault injection; 0 without [?faults] *)
   retransmissions : int;
-      (** resends reported by a hardened protocol through the faults
-          record's counter (see {!Fault.harden}); 0 without [?faults] *)
+      (** resends performed by a hardened protocol.  The engine itself
+          only copies the faults record's counter (see below); the
+          hardened runners ({!Fault.run_hardened}, {!Fault.sim_run}) fold
+          the per-node resend counters into this field after the run —
+          domain-safe at any [jobs].  0 without hardening. *)
 }
 
 (** {2 Fault injection}
@@ -97,9 +100,15 @@ type stats = {
       and mail arriving at it is destroyed (counted in [dropped]);
       messages it sent earlier still arrive elsewhere;
     - on the first round a node is back up, its state is reset to
-      [init view] — crash-and-restart with total state loss;
+      [init view] — crash-and-restart with total state loss as far as the
+      engine is concerned ({!Fault.harden} with a {!Fault.recoverable}
+      contract piggybacks on exactly this hook: its [init] consults the
+      node's stable storage and restores the checkpoint instead);
     - [retransmissions] is reset to 0 at run start and copied into the
-      final stats: a hardening wrapper increments it on every resend.
+      final stats.  Nothing in this repo bumps it from inside [step] any
+      more (a shared counter is not domain-safe at [jobs > 1]); the
+      hardened runners account resends per node and patch the returned
+      stats instead.
 
     Faults are an active-engine feature: combining [?faults] with
     [~reference:true] raises [Invalid_argument]. *)
@@ -191,11 +200,12 @@ val with_observer : observer -> (unit -> 'a) -> 'a
     {e in domain = node order} at the barrier.  Because the merge order
     equals the global send order of the single-threaded engines, results
     are bit-identical for any [jobs] — the jobs-invariance property in
-    [test_sim_equiv] pins this.  Caveats: [jobs > 1] must not be used
+    [test_sim_equiv] pins this.  Caveat: [jobs > 1] must not be used
     from inside an existing pool fan-out (the per-round batch would raise
-    {!Dsf_util.Pool.Nested_use}), and hardened protocols that bump the
-    faults record's [retransmissions] counter from inside [step] must run
-    with [jobs = 1] (the counter is not domain-safe).
+    {!Dsf_util.Pool.Nested_use}).  Hardened protocols are jobs-safe:
+    resends are counted per node and folded into the stats after the run
+    (see {!Fault.sim_run}), so the chaos differentials run at [jobs = 4]
+    too.
 
     On an error raised by a step (e.g. a message to a non-neighbor) the
     flat engine propagates the same exception as the active engine, but

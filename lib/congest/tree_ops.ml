@@ -1,3 +1,5 @@
+module ISet = Set.Make (Int)
+
 type 'a up_state = {
   pending : 'a list;  (** queue of items still to forward to the parent *)
   received : 'a list;  (** root only: arrival order, reversed *)
@@ -48,9 +50,9 @@ let upcast_flat ~(tree : Bfs.tree) ~items ~bits :
     fp_wake = Some Sim.never;
   }
 
-let upcast ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree) ~items
-    ~bits =
-  if flat = Some true then begin
+let upcast ?observer ?faults ?telemetry ?flat ?jobs ?chaos g
+    ~(tree : Bfs.tree) ~items ~bits =
+  if Option.is_none chaos && flat = Some true then begin
     let states, stats =
       Telemetry.span_opt telemetry "upcast" (fun () ->
           Sim.run_flat ?observer ?faults ?telemetry ?jobs g
@@ -88,7 +90,8 @@ let upcast ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree) ~items
   in
   let states, stats =
     Telemetry.span_opt telemetry "upcast" (fun () ->
-        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
+        Fault.sim_run ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+          ~recovery:(Fault.immutable ()) g proto)
   in
   let root_state = states.(tree.root) in
   List.rev root_state.received, stats
@@ -100,8 +103,8 @@ type ('a, 'b) dedup_state = {
   d_received : 'a list;
 }
 
-let upcast_dedup ?observer ?faults ?telemetry ?flat ?jobs ?(per_key = 1) g
-    ~(tree : Bfs.tree) ~items ~key ~bits =
+let upcast_dedup ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+    ?(per_key = 1) g ~(tree : Bfs.tree) ~items ~key ~bits =
   (* Keep an item iff its key has fewer than [per_key] distinct items so
      far and the item itself is new. *)
   let admit seen it k =
@@ -149,8 +152,17 @@ let upcast_dedup ?observer ?faults ?telemetry ?flat ?jobs ?(per_key = 1) g
     Telemetry.span_opt telemetry "upcast_dedup" (fun () ->
         (* The per-node seen-table makes this inherently boxed; [~flat:true]
            still runs it on the flat engine through the adapter (the wake
-           hook is physically [never], so sparse scheduling is preserved). *)
-        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
+           hook is physically [never], so sparse scheduling is preserved).
+           The seen-table also makes the state mutable, so the recovery
+           snapshot must copy it. *)
+        Fault.sim_run ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+          ~recovery:
+            {
+              Fault.snapshot =
+                (fun st -> { st with d_seen = Hashtbl.copy st.d_seen });
+              state_bits = (fun st -> 63 * (1 + Hashtbl.length st.d_seen));
+            }
+          g proto)
   in
   let root_state = states.(tree.root) in
   List.rev root_state.d_received, stats
@@ -262,9 +274,9 @@ let broadcast_flat ~(tree : Bfs.tree) ~items ~bits :
     fp_wake = Some Sim.never;
   }
 
-let broadcast ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
-    ~items ~bits =
-  if flat = Some true then begin
+let broadcast ?observer ?faults ?telemetry ?flat ?jobs ?chaos g
+    ~(tree : Bfs.tree) ~items ~bits =
+  if Option.is_none chaos && flat = Some true then begin
     let states, stats =
       Telemetry.span_opt telemetry "broadcast" (fun () ->
           Sim.run_flat ?observer ?faults ?telemetry ?jobs g
@@ -304,13 +316,15 @@ let broadcast ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
   in
   let states, stats =
     Telemetry.span_opt telemetry "broadcast" (fun () ->
-        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
+        Fault.sim_run ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+          ~recovery:(Fault.immutable ()) g proto)
   in
   Array.map (fun st -> List.rev st.got) states, stats
   end
 
 type 'a agg_state = {
   waiting : int;  (** children not yet heard from *)
+  heard : ISet.t;  (** children already counted (duplicate suppression) *)
   acc : 'a;
   sent : bool;
 }
@@ -324,6 +338,7 @@ type 'a agg_state = {
    to the classic protocol (the extra classic wake steps are no-ops). *)
 type 'a agg_fstate = {
   mutable a_waiting : int;
+  mutable a_heard : ISet.t;
   mutable a_acc : 'a;
   mutable a_sent : bool;
   a_root : bool;
@@ -337,6 +352,7 @@ let aggregate_flat ~(tree : Bfs.tree) ~value ~combine ~bits :
         let v = view.Sim.node in
         {
           a_waiting = List.length tree.children.(v);
+          a_heard = ISet.empty;
           a_acc = value v;
           a_sent = false;
           a_root = v = tree.root;
@@ -346,8 +362,15 @@ let aggregate_flat ~(tree : Bfs.tree) ~value ~combine ~bits :
         let v = view.Sim.node in
         let k = Sim.inbox_len inbox in
         for i = 0 to k - 1 do
-          st.a_waiting <- st.a_waiting - 1;
-          st.a_acc <- combine st.a_acc (Sim.inbox_msg inbox i)
+          (* Each child reports exactly once, so the sender id doubles as
+             the report's sequence stamp: a repeat sender is a duplicated
+             delivery and must not decrement the child count. *)
+          let sender = Sim.inbox_src inbox i in
+          if not (ISet.mem sender st.a_heard) then begin
+            st.a_heard <- ISet.add sender st.a_heard;
+            st.a_waiting <- st.a_waiting - 1;
+            st.a_acc <- combine st.a_acc (Sim.inbox_msg inbox i)
+          end
         done;
         if st.a_waiting = 0 && (not st.a_sent) && not st.a_root then begin
           st.a_sent <- true;
@@ -359,9 +382,9 @@ let aggregate_flat ~(tree : Bfs.tree) ~value ~combine ~bits :
     fp_wake = Some Sim.never;
   }
 
-let aggregate ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
-    ~value ~combine ~bits =
-  if flat = Some true then begin
+let aggregate ?observer ?faults ?telemetry ?flat ?jobs ?chaos g
+    ~(tree : Bfs.tree) ~value ~combine ~bits =
+  if Option.is_none chaos && flat = Some true then begin
     let states, stats =
       Telemetry.span_opt telemetry "aggregate" (fun () ->
           Sim.run_flat ?observer ?faults ?telemetry ?jobs g
@@ -377,16 +400,29 @@ let aggregate ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
           let v = view.Sim.node in
           {
             waiting = List.length tree.children.(v);
+            heard = ISet.empty;
             acc = value v;
             sent = false;
           });
       step =
         (fun view ~round:_ st ~inbox ->
           let v = view.Sim.node in
+          (* Duplicate-tolerant child count: each child reports exactly
+             once, so the sender id is the report's sequence stamp — a
+             repeat sender is a duplicated delivery and is ignored.  On a
+             lossless network no sender ever repeats, so the fold (and the
+             combine order) is unchanged. *)
           let st =
             List.fold_left
-              (fun st (_, x) ->
-                { st with waiting = st.waiting - 1; acc = combine st.acc x })
+              (fun st (sender, x) ->
+                if ISet.mem sender st.heard then st
+                else
+                  {
+                    st with
+                    heard = ISet.add sender st.heard;
+                    waiting = st.waiting - 1;
+                    acc = combine st.acc x;
+                  })
               st inbox
           in
           if st.waiting = 0 && (not st.sent) && v <> tree.root then
@@ -405,13 +441,14 @@ let aggregate ?observer ?faults ?telemetry ?flat ?jobs g ~(tree : Bfs.tree)
   in
   let states, stats =
     Telemetry.span_opt telemetry "aggregate" (fun () ->
-        Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
+        Fault.sim_run ?observer ?faults ?telemetry ?flat ?jobs ?chaos
+          ~recovery:(Fault.immutable ()) g proto)
   in
   states.(tree.root).acc, stats
   end
 
-let count_nodes ?observer ?telemetry ?flat ?jobs g ~tree =
-  aggregate ?observer ?telemetry ?flat ?jobs g ~tree
+let count_nodes ?observer ?telemetry ?flat ?jobs ?chaos g ~tree =
+  aggregate ?observer ?telemetry ?flat ?jobs ?chaos g ~tree
     ~value:(fun _ -> 1)
     ~combine:( + )
     ~bits:(fun x -> Dsf_util.Bitsize.int_bits (max 1 x))

@@ -19,7 +19,17 @@
     through the flat engine's boxed adapter instead.  [~flat:false]
     forces the classic active engine; omitting [flat] defers to
     {!Sim.run}'s engine selection.  [?faults] injects a deterministic
-    fault plan (active or flat engine only). *)
+    fault plan (active or flat engine only).
+
+    [?chaos] runs the classic protocol hardened under the bundled fault
+    plan via {!Fault.sim_run} (each primitive supplies its own
+    {!Fault.recoverable} snapshot, so crash-restart plans are masked);
+    it overrides the native-flat fast path — under chaos the hardened
+    protocol reaches the flat engine through the boxed adapter.
+    {!aggregate}'s child-count handshake is duplicate-tolerant (a child's
+    report is identified by its sender id — each child reports exactly
+    once), so duplication plans cannot corrupt or livelock the count even
+    {e without} hardening. *)
 
 val upcast :
   ?observer:Sim.observer ->
@@ -27,6 +37,7 @@ val upcast :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:(int -> 'a list) ->
@@ -42,6 +53,7 @@ val upcast_dedup :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   ?per_key:int ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
@@ -77,6 +89,7 @@ val broadcast :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   items:'a list ->
@@ -91,6 +104,7 @@ val aggregate :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   value:(int -> 'a) ->
@@ -105,6 +119,7 @@ val count_nodes :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Fault.chaos ->
   Dsf_graph.Graph.t ->
   tree:Bfs.tree ->
   int * Sim.stats

@@ -43,6 +43,7 @@ val run :
   ?telemetry:Dsf_congest.Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Dsf_congest.Fault.chaos ->
   Dsf_graph.Instance.ic ->
   result
 (** Requires a connected graph.  Singleton components are dropped
@@ -60,4 +61,13 @@ val run :
     adapter elsewhere — with [?jobs] domains; the result, ledger, stats,
     and observer traces are bit-identical to the classic engines.
     [~flat:false] forces the classic active engine; omitting [flat]
-    defers to {!Dsf_congest.Sim.run}'s engine selection. *)
+    defers to {!Dsf_congest.Sim.run}'s engine selection.
+
+    [chaos] runs every simulated subroutine hardened with checkpointed
+    crash recovery under the given chaos plan (see
+    {!Dsf_congest.Fault.sim_run}): the solution, weight, dual, merge
+    schedule, and phase count are bit-identical to the fault-free run on
+    any engine — only the ledger's round counts (and the recovery
+    telemetry) reflect the injected faults.  Native flat ports are
+    bypassed under chaos; with [~flat:true] the hardened classic
+    protocols still run on the flat engine through its boxed adapter. *)

@@ -25,6 +25,7 @@ val run :
   ?telemetry:Dsf_congest.Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Dsf_congest.Fault.chaos ->
   Dsf_graph.Graph.t ->
   sources:(int * Frac.t * int) list ->
   frozen:bool array ->
@@ -41,4 +42,7 @@ val run :
     observer traces are bit-identical to the classic protocol (differential
     suite enforced).  [~flat:false] forces the classic active engine;
     omitting [flat] defers to {!Dsf_congest.Sim.run}'s engine selection.
-    [faults] injects a fault plan (active or flat engine only). *)
+    [faults] injects a fault plan (active or flat engine only).  [chaos]
+    instead runs the classic protocol hardened with checkpointed recovery
+    under the given chaos plan (exclusive with [faults]; see
+    {!Dsf_congest.Fault.sim_run}). *)

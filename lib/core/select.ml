@@ -48,8 +48,9 @@ let flat_protocol g ~parent ~seeds :
     fp_wake = Some Sim.never;
   }
 
-let token_flood ?observer ?faults ?telemetry ?flat ?jobs g ~parent ~seeds =
-  if flat = Some true then begin
+let token_flood ?observer ?faults ?telemetry ?flat ?jobs ?chaos g ~parent
+    ~seeds =
+  if Option.is_none chaos && flat = Some true then begin
     let proto = flat_protocol g ~parent ~seeds in
     let states, stats =
       Dsf_congest.Telemetry.span_opt telemetry "token_flood" (fun () ->
@@ -94,7 +95,8 @@ let token_flood ?observer ?faults ?telemetry ?flat ?jobs g ~parent ~seeds =
     in
     let states, stats =
       Dsf_congest.Telemetry.span_opt telemetry "token_flood" (fun () ->
-          Sim.run ?observer ?faults ?telemetry ?flat ?jobs g proto)
+          Dsf_congest.Fault.sim_run ?observer ?faults ?telemetry ?flat ?jobs
+            ?chaos ~recovery:(Dsf_congest.Fault.immutable ()) g proto)
     in
     let edges =
       Array.fold_left (fun acc st -> List.rev_append st.marked acc) [] states

@@ -12,6 +12,7 @@ val token_flood :
   ?telemetry:Dsf_congest.Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?chaos:Dsf_congest.Fault.chaos ->
   Dsf_graph.Graph.t ->
   parent:int array ->
   seeds:bool array ->
@@ -30,4 +31,7 @@ val token_flood :
     bit-identical to the classic protocol (differential suite enforced).
     [~flat:false] forces the classic active engine; omitting [flat] defers
     to {!Dsf_congest.Sim.run}'s engine selection.  [faults] injects a
-    fault plan (active or flat engine only). *)
+    fault plan (active or flat engine only).  [chaos] instead runs the
+    classic protocol hardened with checkpointed recovery under the given
+    chaos plan (exclusive with [faults]; see
+    {!Dsf_congest.Fault.sim_run}). *)

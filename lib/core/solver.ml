@@ -56,11 +56,15 @@ let khan_hook :
          depend on dsf_baseline or avoid Khan_baseline")
 [@@lint.allow "global-state"]
 
-let solve_ic ?(jobs = 1) ?observer ?telemetry ?flat algo inst =
+let solve_ic ?(jobs = 1) ?observer ?telemetry ?flat ?chaos algo inst =
   let tspan name f = Dsf_congest.Telemetry.span_opt telemetry name f in
+  (match chaos, algo with
+  | Some _, (Det_sublinear _ | Rand _ | Khan_baseline _ | Centralized_moat) ->
+      invalid_arg "Solver.solve_ic: ?chaos is only supported for Det"
+  | _ -> ());
   match algo with
   | Det ->
-      let r = Det_dsf.run ?observer ?telemetry ?flat ~jobs inst in
+      let r = Det_dsf.run ?observer ?telemetry ?flat ?chaos ~jobs inst in
       of_ledger algo inst r.Det_dsf.solution r.Det_dsf.weight
         (Some (Frac.to_float r.Det_dsf.dual))
         (Some r.Det_dsf.ledger)
@@ -87,10 +91,10 @@ let solve_ic ?(jobs = 1) ?observer ?telemetry ?flat algo inst =
         (Some (Frac.to_float r.Moat.dual))
         None
 
-let solve_cr ?jobs ?observer ?telemetry ?flat algo cr =
-  let out = Transform.cr_to_ic ?observer ?telemetry ?flat ?jobs cr in
+let solve_cr ?jobs ?observer ?telemetry ?flat ?chaos algo cr =
+  let out = Transform.cr_to_ic ?observer ?telemetry ?flat ?jobs ?chaos cr in
   let report =
-    solve_ic ?jobs ?observer ?telemetry ?flat algo out.Transform.value
+    solve_ic ?jobs ?observer ?telemetry ?flat ?chaos algo out.Transform.value
   in
   let ledger =
     match report.ledger with

@@ -35,6 +35,7 @@ val solve_ic :
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
   ?flat:bool ->
+  ?chaos:Dsf_congest.Fault.chaos ->
   algorithm ->
   Dsf_graph.Instance.ic ->
   report
@@ -49,6 +50,12 @@ val solve_ic :
     classic active engine; omitting [flat] defers to
     {!Dsf_congest.Sim.run}'s engine selection.
 
+    [chaos] runs {!algorithm.Det}'s simulated subroutines hardened with
+    checkpointed crash recovery under the given chaos plan (see
+    {!Dsf_congest.Fault.sim_run}); the report's solution, weight, and
+    dual are bit-identical to the fault-free run.  Other algorithms
+    reject it with [Invalid_argument].
+
     [observer] taps every simulated run of the chosen algorithm.
     [telemetry] profiles it: the distributed algorithms open their own
     phase spans (see each module's docs); the centralized reference and
@@ -60,6 +67,7 @@ val solve_cr :
   ?observer:Dsf_congest.Sim.observer ->
   ?telemetry:Dsf_congest.Telemetry.t ->
   ?flat:bool ->
+  ?chaos:Dsf_congest.Fault.chaos ->
   algorithm ->
   Dsf_graph.Instance.cr ->
   report

@@ -1,9 +1,14 @@
 (* Chaos differential suite: the Fault.harden combinator must make any
-   drop-only fault plan invisible — a hardened protocol on a lossy network
+   maskable fault plan invisible — a hardened protocol on a lossy network
    reaches exactly the final states the raw protocol reaches on a lossless
-   one.  Also pins down what the RAW protocols do (and do not) guarantee
-   under crash-and-restart plans, and that round-limit aborts carry a
-   usable post-mortem. *)
+   one.  With a [Fault.recoverable] contract that extends to
+   crash-and-restart: a restarted node resumes from its checkpoint, so a
+   crash window degrades into a finite outage the reliable layer rides
+   out.  Also pins down what the RAW protocols do (and do not) guarantee
+   under crash-and-restart plans, that an end-to-end det_dsf solve under a
+   full chaos plan is bit-identical to the fault-free run (both engines,
+   jobs 1 and 4), and that round-limit aborts carry a usable
+   post-mortem. *)
 
 open Dsf_graph
 open Dsf_congest
@@ -145,6 +150,140 @@ let test_leader_max_node_restart_reconverges () =
   Alcotest.(check bool) "agreement restored" true res.Leader.agreed;
   check Alcotest.int "leader" k res.Leader.leader
 
+(* ------------------------------------------- crash recovery (checkpoints) *)
+
+let test_maskable_classifier () =
+  let drops = Fault.plan ~drop:0.2 ~duplicate:0.1 ~seed:1 () in
+  let outage = Fault.plan ~link_down:[ 0, 1, 2, 5 ] ~seed:1 () in
+  let crash = Fault.plan ~crashes:[ 0, 2, 4 ] ~seed:1 () in
+  Alcotest.(check bool) "drops maskable" true (Fault.maskable drops);
+  Alcotest.(check bool) "drops drop_only" true (Fault.drop_only drops);
+  (* [maskable] is strictly wider than the historical [drop_only]: finite
+     outages were already healed by capped-backoff retransmission. *)
+  Alcotest.(check bool) "outage maskable" true (Fault.maskable outage);
+  Alcotest.(check bool) "outage not drop_only" false (Fault.drop_only outage);
+  Alcotest.(check bool) "crash needs recovery" false (Fault.maskable crash);
+  Alcotest.(check bool) "crash maskable with recovery" true
+    (Fault.maskable ~with_recovery:true crash);
+  Alcotest.(check bool) "chaos_plan maskable with recovery" true
+    (Fault.maskable ~with_recovery:true
+       (Fault.chaos_plan ~seed:3 (random_graph 3)))
+
+let prop_recovery_masks_chaos_plans =
+  (* The tentpole guarantee: a full chaos_plan — drops, duplications,
+     finite link outages AND crash-restart windows — is invisible to a
+     protocol hardened with a recoverable contract. *)
+  QCheck.Test.make ~name:"recovery masks chaos plans (BFS / leader)"
+    ~count:12
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let plan = Fault.chaos_plan ~seed g in
+      let root = seed mod Graph.n g in
+      let masks proto =
+        let lossless, _ = Sim.run g proto in
+        let hardened, _ =
+          Fault.run_hardened ~plan ~recovery:(Fault.immutable ()) g proto
+        in
+        lossless = hardened
+      in
+      masks (Bfs.protocol ~root) && masks (Leader.protocol g))
+
+let test_leader_crash_recovery_reconverges () =
+  (* The exact adversarial schedule that breaks the raw protocol above
+     (node 0 sleeps through the max-id wave) is fully masked once the run
+     is hardened with recovery: node 0 restarts from its checkpoint and
+     the go-back-N machinery replays what the crash ate. *)
+  let k = 8 in
+  let g = Gen.path (k + 1) in
+  let plan = Fault.plan ~crashes:[ 0, k - 1, k + 2 ] ~seed:1 () in
+  let lossless, _ = Sim.run g (Leader.protocol g) in
+  let hardened, _ =
+    Fault.run_hardened ~plan ~recovery:(Fault.immutable ()) g
+      (Leader.protocol g)
+  in
+  Alcotest.(check bool) "crash masked by recovery" true (lossless = hardened);
+  (* Same guarantee through the chaos front door: [Leader.elect ?chaos]
+     runs hardened-with-recovery and asserts agreement internally. *)
+  let res =
+    Leader.elect ~chaos:(Fault.chaos (Fault.chaos_plan ~seed:7 g)) g
+  in
+  Alcotest.(check bool) "elect under chaos agrees" true res.Leader.agreed;
+  check Alcotest.int "elect under chaos: true winner" k res.Leader.leader
+
+let test_recovery_stats_counted () =
+  (* Recovery work is observable: a crash window inside the run must show
+     up as a restore, resync rounds, and checkpoint bits — and the inner
+     states must still be the lossless ones. *)
+  let k = 8 in
+  let g = Gen.path (k + 1) in
+  let plan = Fault.plan ~crashes:[ 0, 4, 7 ] ~seed:1 () in
+  let proto = Leader.protocol g in
+  let hardened = Fault.harden ~recovery:(Fault.immutable ()) proto in
+  let hs, _ =
+    Sim.run ~halt:(Fault.quiescent proto) ~faults:(Fault.instantiate plan) g
+      hardened
+  in
+  let rs = Fault.recovery_of hs in
+  check Alcotest.int "one restore" 1 rs.Fault.restores;
+  Alcotest.(check bool) "resync rounds counted" true (rs.Fault.recovery_rounds > 0);
+  Alcotest.(check bool) "checkpoint bits counted" true
+    (rs.Fault.checkpoint_bits > 0);
+  let lossless, _ = Sim.run g proto in
+  Alcotest.(check bool) "inner states lossless" true
+    (Array.map Fault.inner hs = lossless)
+
+let test_exchange_chaos_still_stabilizes () =
+  (* The raw exchange's self-stabilization (test above) is not disturbed
+     by the hardened path: under a full chaos plan every node still ends
+     having sent, and the stats come back finite. *)
+  let g = random_graph 777 in
+  let stats =
+    Exchange.all_neighbors ~chaos:(Fault.chaos (Fault.chaos_plan ~seed:9 g))
+      g ~payload_bits:9
+  in
+  Alcotest.(check bool) "positive traffic" true (stats.Sim.messages > 0)
+
+(* ------------------------------------------- end-to-end det_dsf chaos *)
+
+let test_det_dsf_chaos_differential () =
+  (* The acceptance bullet: a complete det_dsf solve under a seeded
+     maskable chaos plan (drops + duplicates + finite link-down +
+     crash-restart-with-recovery) is bit-identical to the fault-free
+     solve — solution, weight, dual, merge schedule, phase count — on the
+     classic engine and on the flat engine at jobs 1 and 4.  Ledger round
+     counts legitimately differ (the synchronizer pays for the faults), so
+     they are excluded from the comparison. *)
+  let r = rng 2024 in
+  let g = Gen.random_connected r ~n:26 ~extra_edges:18 ~max_w:10 in
+  let labels = Gen.spread_labels r g ~t:8 ~k:3 in
+  let inst = Instance.make_ic g labels in
+  let base = Dsf_core.Det_dsf.run inst in
+  let chaos = Fault.chaos (Fault.chaos_plan ~seed:5 g) in
+  List.iter
+    (fun (label, flat, jobs) ->
+      let c = Dsf_core.Det_dsf.run ~flat ~jobs ~chaos inst in
+      Alcotest.(check bool)
+        (label ^ ": solution identical")
+        true
+        (c.Dsf_core.Det_dsf.solution = base.Dsf_core.Det_dsf.solution);
+      check Alcotest.int (label ^ ": weight") base.Dsf_core.Det_dsf.weight
+        c.Dsf_core.Det_dsf.weight;
+      Alcotest.(check bool)
+        (label ^ ": dual identical")
+        true
+        (Dsf_core.Frac.compare c.Dsf_core.Det_dsf.dual
+           base.Dsf_core.Det_dsf.dual
+        = 0);
+      Alcotest.(check bool)
+        (label ^ ": merge schedule identical")
+        true
+        (c.Dsf_core.Det_dsf.merges = base.Dsf_core.Det_dsf.merges);
+      check Alcotest.int
+        (label ^ ": phase count")
+        base.Dsf_core.Det_dsf.phase_count c.Dsf_core.Det_dsf.phase_count)
+    [ "classic", false, 1; "flat j1", true, 1; "flat j4", true, 4 ]
+
 (* ----------------------------------------------------------- post-mortem *)
 
 let test_crash_plan_not_masked_postmortem () =
@@ -204,6 +343,17 @@ let suites =
           test_leader_crash_breaks_agreement;
         Alcotest.test_case "leader: max-node restart reconverges" `Quick
           test_leader_max_node_restart_reconverges;
+        Alcotest.test_case "maskable classifier" `Quick
+          test_maskable_classifier;
+        qtest prop_recovery_masks_chaos_plans;
+        Alcotest.test_case "leader: crash masked by recovery" `Quick
+          test_leader_crash_recovery_reconverges;
+        Alcotest.test_case "recovery work is counted" `Quick
+          test_recovery_stats_counted;
+        Alcotest.test_case "exchange under chaos still stabilizes" `Quick
+          test_exchange_chaos_still_stabilizes;
+        Alcotest.test_case "det_dsf chaos differential (engines, jobs)"
+          `Slow test_det_dsf_chaos_differential;
         Alcotest.test_case "crash plan aborts with post-mortem" `Quick
           test_crash_plan_not_masked_postmortem;
       ] );

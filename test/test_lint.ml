@@ -125,7 +125,16 @@ let test_catch_all () =
     "let safe f = try f () with e -> cleanup (); raise e";
   quiet ~file:"lib/core/good.ml"
     "let safe f = try f () with e -> \
-     Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())"
+     Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())";
+  (* the crash-recovery contract (Fault.recoverable) is explicitly in
+     scope: a catch-all inside a snapshot/restore implementation would
+     turn a failing checkpoint into silent state corruption, and the rule
+     must fire there like anywhere else in lib/ *)
+  fires ~file:"lib/congest/fault.ml" "catch-all"
+    "let r = { snapshot = (fun st -> try copy st with _ -> st); \
+     state_bits = (fun _ -> 63) }";
+  fires ~file:"lib/core/my_proto.ml" "catch-all"
+    "let snapshot st = try deep_copy st with _ -> st"
 
 (* ----------------------------------------------------------- unsafe-array *)
 

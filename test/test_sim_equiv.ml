@@ -524,13 +524,15 @@ let prop_flat_native_tree_ops =
             Tree_ops.broadcast ~observer ?faults ~telemetry ?flat ?jobs g
               ~tree ~items:[ 1; 2; 3 ] ~bits)
       in
-      (* Duplicates corrupt the child-count handshake of [aggregate] (in
-         both engines alike, but not necessarily to the same final state),
-         so the aggregate legs stay lossless. *)
-      let ag ?flat ?jobs () =
+      (* The child-count handshake of [aggregate] dedups child reports by
+         sender id (each child reports exactly once, so the sender is its
+         own sequence stamp): duplicate-injecting plans leave the state
+         trajectory — and the root's total — untouched, so the lossy legs
+         below compare against each other AND against the lossless sum. *)
+      let ag ?faults ?flat ?jobs () =
         record_leg (fun ~observer ~telemetry ->
-            Tree_ops.aggregate ~observer ~telemetry ?flat ?jobs g ~tree
-              ~value:Fun.id ~combine:( + ) ~bits)
+            Tree_ops.aggregate ~observer ?faults ~telemetry ?flat ?jobs g
+              ~tree ~value:Fun.id ~combine:( + ) ~bits)
       in
       let dup () = Fault.instantiate (dup_plan seed) in
       let base_up = up ~flat:false () in
@@ -548,7 +550,14 @@ let prop_flat_native_tree_ops =
       && up ~faults:(dup ()) ~flat:false ()
          = up ~faults:(dup ()) ~flat:true ~jobs:2 ()
       && bc ~faults:(dup ()) ~flat:false ()
-         = bc ~faults:(dup ()) ~flat:true ~jobs:2 ())
+         = bc ~faults:(dup ()) ~flat:true ~jobs:2 ()
+      && ag ~faults:(dup ()) ~flat:false ()
+         = ag ~faults:(dup ()) ~flat:true ~jobs:2 ()
+      && fst
+           (Tree_ops.aggregate ~faults:(dup ()) g ~tree ~value:Fun.id
+              ~combine:( + ) ~bits)
+         = fst
+             (Tree_ops.aggregate g ~tree ~value:Fun.id ~combine:( + ) ~bits))
 
 let prop_flat_native_pipeline =
   QCheck.Test.make
