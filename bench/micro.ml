@@ -489,7 +489,10 @@ let flat_workloads :
         let g = flat_graph n in
         ( (fun () -> snd (Sim.run g (Dsf_congest.Bfs.protocol ~root:0))),
           fun jobs ->
-            snd (Sim.run_flat ~jobs g (Dsf_congest.Bfs.flat_protocol ~root:0))
+            snd
+              (Sim.run_flat ~jobs g
+                 (Dsf_congest.Bfs.flat_protocol ~n:(Dsf_graph.Graph.n g)
+                    ~root:0))
         ) );
     ( "bellman_ford path",
       max_int,
@@ -752,7 +755,8 @@ let flat_check () =
   (* The native flat BFS must reproduce the classic tree and stats. *)
   let tree, stats = bfs p256 in
   let fstates, fstats =
-    Sim.run_flat p256 (Dsf_congest.Bfs.flat_protocol ~root:0)
+    Sim.run_flat p256
+      (Dsf_congest.Bfs.flat_protocol ~n:(Dsf_graph.Graph.n p256) ~root:0)
   in
   let n = Dsf_graph.Graph.n p256 in
   let same = ref (stats = fstats) in

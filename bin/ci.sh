@@ -30,8 +30,15 @@ with_timeout 900 dune build
 # Static analysis: dsf-lint's repo invariants (no global mutable state in
 # lib/, no deprecated Sim globals outside the differential suites, no
 # nondeterminism sources, CONGEST message discipline, no catch-all
-# handlers).  Fails on any finding not in lint.baseline.
+# handlers, no deprecated Fault.drop_only).  Fails on any finding not in
+# lint.baseline (which ships empty and must stay empty).
 with_timeout 300 dune build @lint
+
+# Typed static analysis: the Typedtree rules over the libraries' .cmt
+# artifacts — domain-race (every flat fp_step provably mutates only
+# node-local state) and congest-width (every Pack layout and declared
+# fp_msg_bits fits the 62-bit CONGEST word).  Same empty baseline.
+with_timeout 300 dune build @lint-typed
 
 with_timeout 900 dune runtest
 
@@ -89,6 +96,24 @@ with_timeout 300 dune exec bin/dsf_cli.exe -- solve --algo det --flat \
   --jobs 2 --topology path --nodes 4096 --terminals 16 --components 4 \
   --seed 5 > /dev/null
 echo "ci: det_dsf flat e2e smoke ok (path n=4096)"
+
+# Sanitizer-on flat e2e smoke: the same solve at n=1024 with the runtime
+# ownership sanitizer armed (DSF_SANITIZE=1 arms every run_flat in the
+# process).  A cross-partition write, escaped emit closure, or arena
+# leak aborts with Sim.Sanitizer_violation (nonzero exit); a livelock
+# hits the hard timeout; and because every sanitizer check is read-only,
+# the output must be byte-identical to the sanitizer-off run.
+with_timeout 300 dune exec bin/dsf_cli.exe -- solve --algo det --flat \
+  --jobs 2 --topology path --nodes 1024 --terminals 16 --components 4 \
+  --seed 5 > "$scratch/solve_flat1k.out"
+with_timeout 300 env DSF_SANITIZE=1 dune exec bin/dsf_cli.exe -- solve \
+  --algo det --flat --jobs 2 --topology path --nodes 1024 --terminals 16 \
+  --components 4 --seed 5 > "$scratch/solve_flat1k_sanitized.out"
+if ! diff -u "$scratch/solve_flat1k.out" "$scratch/solve_flat1k_sanitized.out"; then
+  echo "ci: sanitized flat e2e diverged from the unsanitized run" >&2
+  exit 1
+fi
+echo "ci: det_dsf sanitized flat e2e smoke ok (path n=1024, bit-identical)"
 
 with_timeout 600 dune exec bench/main.exe -- smoke --jobs 1 --out "$scratch/bench_j1.json"
 with_timeout 600 dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/bench_j2.json"

@@ -1,5 +1,10 @@
 (* dsf-lint driver: scan, subtract suppressions and the baseline, render.
    Exit 0 = clean, 1 = findings, 2 = a file failed to parse or read.
+   Two passes share this driver: the default Parsetree scan over [.ml]
+   sources, and [--typed], which runs the Typedtree rules over compiler
+   [.cmt] artifacts (see lib/lint/typed_lint.mli).  Findings are always
+   reported in Finding.compare order — (file, line, rule) — so text and
+   --json output are stable across filesystem orderings.
    See the "Static analysis" section of HACKING.md for the rule
    catalogue and the suppression syntax. *)
 
@@ -7,6 +12,8 @@ let usage =
   "dsf-lint: repo-specific invariant checks (determinism, domain-safety, \
    CONGEST discipline)\n\
    usage: lint [options] [paths]   (default paths: lib bin bench)\n\
+   \       lint --typed [paths]    (default path: _build/default/lib, \
+   scanning .cmt artifacts)\n\
    options:"
 
 let () =
@@ -14,11 +21,16 @@ let () =
   let baseline_file = ref "" in
   let update_baseline = ref false in
   let list_rules = ref false in
+  let typed = ref false in
   let root = ref "" in
   let paths = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " emit findings as JSON on stdout");
+      ( "--typed",
+        Arg.Set typed,
+        " run the Typedtree rules (domain-race, congest-width) over .cmt \
+         artifacts instead of parsing sources" );
       ( "--baseline",
         Arg.Set_string baseline_file,
         "FILE subtract grandfathered findings recorded in FILE" );
@@ -33,15 +45,35 @@ let () =
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   if !list_rules then begin
-    List.iter
-      (fun (r : Dsf_lint.Lint.rule) ->
-        Printf.printf "%-18s %s\n%-18s   why: %s\n" r.id r.synopsis "" r.rationale)
-      Dsf_lint.Lint.rules;
+    let print_rule (r : Dsf_lint.Lint.rule) =
+      Printf.printf "%-22s %s\n%-22s   why: %s\n" r.id r.synopsis "" r.rationale
+    in
+    List.iter print_rule Dsf_lint.Lint.rules;
+    print_endline "typed rules (lint --typed, over .cmt artifacts):";
+    List.iter print_rule Dsf_lint.Typed_lint.rules;
     exit 0
   end;
   if !root <> "" then Sys.chdir !root;
-  let roots = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
-  let findings, errors = Dsf_lint.Lint.scan ~roots in
+  let findings, errors =
+    if !typed then begin
+      let roots =
+        match List.rev !paths with
+        | [] ->
+            (* Inside dune's build context the library trees sit next to
+               their .objs; from a source checkout, prefer the build dir. *)
+            let d = Filename.concat "_build" "default" in
+            let lib = Filename.concat d "lib" in
+            [ (if Sys.file_exists lib then lib else "lib") ]
+        | ps -> ps
+      in
+      Dsf_lint.Typed_lint.scan ~roots
+    end
+    else
+      let roots =
+        match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+      in
+      Dsf_lint.Lint.scan ~roots
+  in
   if errors <> [] then begin
     List.iter (Printf.eprintf "lint: %s\n") errors;
     exit 2
@@ -62,6 +94,7 @@ let () =
     if !baseline_file = "" then [] else Dsf_lint.Lint.Baseline.load !baseline_file
   in
   let kept, suppressed, stale = Dsf_lint.Lint.Baseline.apply entries findings in
+  let kept = List.sort Dsf_lint.Finding.compare kept in
   if !json then print_endline (Dsf_lint.Finding.json_of_list kept)
   else begin
     List.iter

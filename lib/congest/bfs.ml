@@ -78,26 +78,22 @@ let flat_fields ~n =
    active list at the wavefront.  Quiescence round, messages, bits, and
    the resulting tree are unchanged (the differential suite checks this);
    only the stepped/telemetry series shrink. *)
-let flat_protocol ~root : (int, int) Sim.flat_protocol =
-  (* The layout depends only on n; memoized per protocol value so the hot
-     step reads three locals (one allocation per run, not per step). *)
-  let memo_n = ref (-1) in
-  let dummy = (Pack.layout [ 1 ]).(0) in
-  let f_ann = ref dummy and f_depth = ref dummy and f_parent1 = ref dummy in
-  let sync n =
-    if !memo_n <> n then begin
-      let ann, depth, parent1 = flat_fields ~n in
-      f_ann := ann;
-      f_depth := depth;
-      f_parent1 := parent1;
-      memo_n := n
-    end
-  in
+let flat_protocol ~n ~root : (int, int) Sim.flat_protocol =
+  (* The layout depends only on [n], so it is computed once here — the
+     protocol value captures three immutable fields and the hot step
+     allocates nothing.  (An earlier version lazily synced the fields
+     from inside [fp_step] through captured refs; that is exactly the
+     cross-domain write the typed domain-race rule forbids, so the node
+     count is a constructor argument instead.) *)
+  let f_ann, f_depth, f_parent1 = flat_fields ~n in
   {
-    fp_init = (fun view -> if view.Sim.node = root then 0 else -1);
+    fp_init =
+      (fun view ->
+        if view.Sim.n <> n then
+          invalid_arg "Bfs.flat_protocol: graph size differs from ~n";
+        if view.Sim.node = root then 0 else -1);
     fp_step =
       (fun view ~round:_ st ~inbox ~emit ->
-        sync view.Sim.n;
         let st =
           if st = -1 then begin
             (* Join the tree via the smallest-id sender in this inbox. *)
@@ -113,16 +109,16 @@ let flat_protocol ~root : (int, int) Sim.flat_protocol =
                   best_d := Sim.inbox_msg inbox i
                 end
               done;
-              Pack.put !f_parent1 (!best_s + 1)
-                (Pack.put !f_depth (!best_d + 1) 0)
+              Pack.put f_parent1 (!best_s + 1)
+                (Pack.put f_depth (!best_d + 1) 0)
             end
           end
           else st
         in
-        if st >= 0 && Pack.get !f_ann st = 0 then begin
-          let depth = Pack.get !f_depth st in
+        if st >= 0 && Pack.get f_ann st = 0 then begin
+          let depth = Pack.get f_depth st in
           Array.iter (fun (nb, _, _) -> emit ~dst:nb depth) view.Sim.nbrs;
-          Pack.put !f_ann 1 st
+          Pack.put f_ann 1 st
         end
         else st);
     fp_is_done = (fun st -> st = -1 || st land 1 = 1);
@@ -156,7 +152,7 @@ let build ?observer ?telemetry ?flat ?jobs ?chaos g ~root =
        states.  Tree and stats are bit-identical to the classic path. *)
     let states, stats =
       Telemetry.span_opt telemetry "bfs" (fun () ->
-          Sim.run_flat ?observer ?telemetry ?jobs g (flat_protocol ~root))
+          Sim.run_flat ?observer ?telemetry ?jobs g (flat_protocol ~n ~root))
     in
     let parent = Array.make n (-1) in
     let depth = Array.make n 0 in

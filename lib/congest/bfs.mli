@@ -20,15 +20,20 @@ val protocol : root:int -> (state, msg) Sim.protocol
     smallest-id neighbor heard from in the {e first} round a Join
     arrives. *)
 
-val flat_protocol : root:int -> (int, int) Sim.flat_protocol
+val flat_protocol : n:int -> root:int -> (int, int) Sim.flat_protocol
 (** The same wavefront as {!protocol}, written natively against the
     flat-core engine: node state is one immediate int (a
     {!Dsf_util.Pack} layout of announced flag, depth, and parent + 1,
     with -1 as the unreached sentinel), messages are bare depths, and
     unreached nodes report done until mail arrives (so the sparse
-    scheduler only ever steps the wavefront).  Quiescence round,
-    messages, bits, and the resulting tree match {!protocol}; it is the
-    zero-allocation exemplar the flat-engine benchmarks run. *)
+    scheduler only ever steps the wavefront).  [n] is the node count of
+    the graph the protocol will run on — the packed layout is sized from
+    it once, at construction, so the step body captures only immutable
+    fields (the typed domain-race rule's ownership contract);
+    [fp_init] raises [Invalid_argument] on a graph of a different size.
+    Quiescence round, messages, bits, and the resulting tree match
+    {!protocol}; it is the zero-allocation exemplar the flat-engine
+    benchmarks run. *)
 
 val flat_state_parent_depth : n:int -> int -> (int * int) option
 (** Decodes a {!flat_protocol} state into [(parent, depth)]; [None] if

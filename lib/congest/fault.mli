@@ -110,7 +110,10 @@ val drop_only : plan -> bool
 (** Deprecated, strictly narrower predecessor of {!maskable}: no crashes
     {e and} no link outages.  Kept for callers that want the
     conservative class masked by PR-3-era hardening; new code should use
-    [maskable ~with_recovery:...]. *)
+    [maskable ~with_recovery:...].  Every use is flagged by dsf-lint's
+    [deprecated-fault-alias] rule (suppressible with
+    [[@lint.allow "deprecated-fault-alias"]] where the historical
+    semantics are genuinely wanted). *)
 
 val instantiate : plan -> Sim.faults
 (** Compile the plan into the engine's callback record.  Decisions are

@@ -531,8 +531,50 @@ let lower_bound a len x =
   done;
   !lo
 
+(* --- Dynamic ownership sanitizer ------------------------------------- *)
+(* The runtime half of the typed domain-race rule (lib/lint/typed_lint.ml):
+   the static pass proves [fp_step] bodies only touch node-local state by
+   construction; the sanitizer catches what escapes the analysis — aliased
+   states smuggled out of [fp_init], emits issued from stashed closures,
+   mail staged for nodes outside the recipient list.  Every check is
+   read-only (private hash snapshots and write stamps), so a clean
+   sanitized run is bit-identical to an unsanitized one; the differential
+   suite pins this. *)
+
+type sanitizer_violation = {
+  sv_kind : string;
+  sv_round : int;
+  sv_node : int;
+  sv_domain : int;  (** domain owning [sv_node]; [-1] if out of range *)
+  sv_detail : string;
+}
+
+exception Sanitizer_violation of sanitizer_violation
+
+let () =
+  Printexc.register_printer (function
+    | Sanitizer_violation v ->
+        Some
+          (Printf.sprintf
+             "Sim.Sanitizer_violation { kind = %S; round = %d; node = %d; \
+              domain = %d; detail = %S }"
+             v.sv_kind v.sv_round v.sv_node v.sv_domain v.sv_detail)
+    | _ -> None)
+
+(* Read once at module init so every [run_flat] in a process agrees;
+   ci.sh's sanitized smoke sets DSF_SANITIZE=1. *)
+let env_sanitize =
+  match Sys.getenv_opt "DSF_SANITIZE" with
+  | Some ("1" | "true" | "on") -> true
+  | _ -> false
+
+(* Structural fingerprint of a node state.  [hash_param] with deep limits
+   so nested mutable fields (records behind aliases) register; collisions
+   only ever mask a violation, never invent one. *)
+let state_hash st = Hashtbl.hash_param 128 512 st
+
 let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
-    g fp =
+    ?sanitize g fp =
   let obs = effective_observer per_run in
   let n = Graph.n g in
   let m = Graph.m g in
@@ -581,6 +623,31 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
   (* Domain [d] owns the contiguous node block [dom_lo.(d), dom_lo.(d+1)). *)
   let dom_lo = Array.init (jobs + 1) (fun d -> d * n / jobs) in
   let dom_ids = Array.init jobs Fun.id in
+  let sanitize = match sanitize with Some b -> b | None -> env_sanitize in
+  let owner_of v =
+    (* [jobs] is small and the blocks ascend; a linear scan suffices. *)
+    let d = ref 0 in
+    while dom_lo.(!d + 1) <= v do
+      incr d
+    done;
+    !d
+  in
+  let violation ~kind ~node ~detail =
+    raise
+      (Sanitizer_violation
+         {
+           sv_kind = kind;
+           sv_round = !round;
+           sv_node = node;
+           sv_domain = (if node >= 0 && node < n then owner_of node else -1);
+           sv_detail = detail;
+         })
+  in
+  (* [snap.(v)]: structural hash of [states.(v)] at the last barrier;
+     [written.(v)]: round of the last sanctioned write (step or
+     crash-restart).  Both are private to the sanitizer. *)
+  let snap = if sanitize then Array.map state_hash states else [||] in
+  let written = if sanitize then Array.make n (-1) else [||] in
   let has_faults = Option.is_some faults in
   let wake_is_some = Option.is_some fp.fp_wake in
   (* Scheduling modes.  [sparse]: wake is physically [never] and no faults
@@ -619,6 +686,26 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
     in
     fun ~dst msg ->
       let src = s.s_cur_src in
+      if sanitize then begin
+        (* In sanitize mode [s_cur_src] is reset to -1 after every step,
+           so a stashed emit closure fired outside its step is caught
+           here; in-step, the emitting node must sit in this domain's
+           block (an emit closure smuggled across domains would charge
+           another partition's ledger). *)
+        if src < 0 then
+          violation ~kind:"emit-outside-step" ~node:dst
+            ~detail:
+              (Printf.sprintf
+                 "emit to node %d with no step in progress on domain %d \
+                  (escaped emit closure?)"
+                 dst d);
+        if src < dom_lo.(d) || src >= dom_lo.(d + 1) then
+          violation ~kind:"emit-foreign-node" ~node:src
+            ~detail:
+              (Printf.sprintf
+                 "domain %d emitted on behalf of node %d, which domain %d owns"
+                 d src (owner_of src))
+      end;
       if dst < 0 || dst >= n then
         invalid_arg "Sim.run: message to nonexistent node";
       let p = Graph.pos csr ~src ~dst in
@@ -660,6 +747,11 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
     in
     ib.mlen <- 0;
     states.(v) <- st';
+    if sanitize then begin
+      written.(v) <- !round;
+      (* Arm the emit-outside-step check until the next step begins. *)
+      s.s_cur_src <- -1
+    end;
     let dn = fp.fp_is_done st' in
     if dn <> done_flag.(v) then begin
       done_flag.(v) <- dn;
@@ -688,6 +780,7 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
             (* First round back up: restart from a fresh initial state. *)
             was_down.(v) <- false;
             states.(v) <- fp.fp_init views.(v);
+            if sanitize then written.(v) <- !round;
             let dflag = fp.fp_is_done states.(v) in
             if dflag <> done_flag.(v) then begin
               done_flag.(v) <- dflag;
@@ -768,6 +861,39 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
         edge_bits.(p) <- -1
       done
     done;
+    (* Ownership oracle: between barriers a node's state may change only
+       through its own step (or crash-restart) on the owning domain.  A
+       node not written this round whose structural hash moved was
+       mutated from someone else's step — the aliasing races the static
+       domain-race rule cannot see.  Stepped nodes refresh their
+       snapshot.  The inbox sweep checks an engine invariant: every
+       message delivered at the previous barrier was consumed by a step
+       this round (crashed nodes have their mail dropped above). *)
+    if sanitize then begin
+      for v = 0 to n - 1 do
+        if written.(v) = !round then snap.(v) <- state_hash states.(v)
+        else begin
+          let h = state_hash states.(v) in
+          if h <> snap.(v) then
+            violation ~kind:"idle-state-write" ~node:v
+              ~detail:
+                (Printf.sprintf
+                   "state of node %d changed this round but the node was \
+                    not stepped (structural hash %d -> %d): cross-partition \
+                    write through an aliased state"
+                   v snap.(v) h)
+        end
+      done;
+      for v = 0 to n - 1 do
+        if inboxes.(v).mlen > 0 then
+          violation ~kind:"undelivered-inbox" ~node:v
+            ~detail:
+              (Printf.sprintf
+                 "%d message(s) delivered to node %d at the previous \
+                  barrier were never consumed by a step"
+                 inboxes.(v).mlen v)
+      done
+    end;
     (* Deliver staged mail and collect next round's active candidates:
        the still-undone nodes (already ascending — each domain's list is
        ascending and domains own ascending blocks) and the mail
@@ -802,6 +928,22 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
       done;
       scratch_reset s
     done;
+    (* Arena hygiene: after delivery every staged slot must be empty — a
+       populated slot missing from its domain's recipient list means mail
+       was staged behind the engine's back and would silently vanish. *)
+    if sanitize then
+      for d = 0 to jobs - 1 do
+        let stage_d = stage.(d) in
+        for dst = 0 to n - 1 do
+          if stage_d.(dst).mlen > 0 then
+            violation ~kind:"arena-leak" ~node:dst
+              ~detail:
+                (Printf.sprintf
+                   "domain %d staged %d message(s) for node %d outside its \
+                    recipient list; they would never be delivered"
+                   d stage_d.(dst).mlen dst)
+        done
+      done;
     if sparse then begin
       sort_int_prefix rcp !nrcp;
       let i = ref 0 and j = ref 0 and k = ref 0 in

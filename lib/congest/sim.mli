@@ -252,6 +252,28 @@ val flat_of_protocol : ('s, 'm) protocol -> ('s, 'm) flat_protocol
     the per-active-node allocation profile but still gains arena delivery
     and active-list scheduling. *)
 
+type sanitizer_violation = {
+  sv_kind : string;
+      (** ["idle-state-write"] — a node's state changed in a round it was
+          not stepped (cross-partition write through an aliased state);
+          ["emit-outside-step"] — an emit closure fired with no step in
+          progress on its domain; ["emit-foreign-node"] — an emit issued
+          on behalf of a node owned by another domain; ["arena-leak"] —
+          mail staged outside the recipient list (would silently vanish);
+          ["undelivered-inbox"] — delivered mail never consumed by a
+          step. *)
+  sv_round : int;
+  sv_node : int;
+  sv_domain : int;  (** domain owning [sv_node]; [-1] if out of range *)
+  sv_detail : string;  (** human-readable elaboration *)
+}
+
+exception Sanitizer_violation of sanitizer_violation
+(** Raised by {!run_flat} with [~sanitize:true] when a flat protocol (or
+    the engine itself) breaks the ownership contract the typed
+    domain-race lint rule checks statically.  A [Printexc] printer is
+    registered, so uncaught violations render the full record. *)
+
 val run_flat :
   ?max_rounds:int ->
   ?halt:('s array -> bool) ->
@@ -259,6 +281,7 @@ val run_flat :
   ?faults:faults ->
   ?telemetry:Telemetry.t ->
   ?jobs:int ->
+  ?sanitize:bool ->
   Dsf_graph.Graph.t ->
   ('s, 'm) flat_protocol ->
   's array * stats
@@ -267,7 +290,18 @@ val run_flat :
     traces, round counts, telemetry series, fault semantics, and
     {!Round_limit} behavior are bit-identical to {!run} on the equivalent
     list protocol — the differential suite enforces this with faults and
-    telemetry both on and off. *)
+    telemetry both on and off.
+
+    [sanitize] arms the dynamic ownership sanitizer: node-state writes
+    and arena slots are tagged with the owning domain and round, and any
+    cross-partition write, escaped emit closure, or leaked arena slot
+    aborts the run with {!Sanitizer_violation} (kinds above).  Every
+    check is read-only — private hash snapshots and write stamps — so a
+    clean sanitized run is bit-identical to an unsanitized one (stats,
+    states, observer order); it costs an O(n) structural-hash sweep per
+    round.  Defaults to the [DSF_SANITIZE] environment variable
+    ([1]/[true]/[on], read once at module init), which is how ci.sh's
+    sanitized end-to-end smoke arms it without touching call sites. *)
 
 val use_flat_engine : bool ref
 (** Deprecated global shim, mirror of {!use_reference_engine}: while

@@ -7,10 +7,13 @@ type t = {
   hint : string;
 }
 
+(* Report order (and the CI-stable --json order): file, then line, then
+   rule id, with col/message as final tie-breaks — so diffs are stable
+   across filesystem orderings and across the untyped/typed passes. *)
 let compare a b =
   Stdlib.compare
-    (a.file, a.line, a.col, a.rule, a.message)
-    (b.file, b.line, b.col, b.rule, b.message)
+    (a.file, a.line, a.rule, a.col, a.message)
+    (b.file, b.line, b.rule, b.col, b.message)
 
 let pp ppf f =
   Format.fprintf ppf "%s:%d:%d: [%s] %s@,  hint: %s" f.file f.line f.col

@@ -32,6 +32,7 @@ let rule_nondet = "nondet"
 let rule_congest = "congest-discipline"
 let rule_catch_all = "catch-all"
 let rule_unsafe = "unsafe-array"
+let rule_fault_alias = "deprecated-fault-alias"
 
 let rules =
   [
@@ -81,6 +82,15 @@ let rules =
         "an out-of-range unsafe access is silent memory corruption, not \
          an exception; every use must sit behind an explicit bounds check \
          and carry an inline [@lint.allow \"unsafe-array\"] pointing at it";
+    };
+    {
+      id = rule_fault_alias;
+      synopsis = "use of the deprecated Fault.drop_only classifier";
+      rationale =
+        "drop_only predates the crash-recovery layer and answers the \
+         wrong question — whether a plan is maskable now depends on \
+         whether the run carries a recovery contract; \
+         Fault.maskable ?with_recovery is the one classifier";
     };
   ]
 
@@ -281,6 +291,15 @@ let check_ident ctx ~loc lid =
          bounds check and mark the proven site with [@lint.allow \
          \"unsafe-array\"] — or route the bit manipulation through \
          Dsf_util.Pack, the sanctioned packing site";
+  (* deprecated-fault-alias: the pre-recovery plan classifier. *)
+  if last_comp lid = "drop_only" && List.mem "Fault" comps then
+    emit ctx ~loc ~rule:rule_fault_alias
+      ~message:"use of deprecated plan classifier `Fault.drop_only'"
+      ~hint:
+        "ask Fault.maskable ?with_recovery instead — maskability now \
+         depends on the run's recovery contract, not just the plan; \
+         alias-semantics tests may suppress with [@lint.allow \
+         \"deprecated-fault-alias\"]";
   (* nondet: seeding/IO-free determinism contract. *)
   (match p with
   | "Random.self_init" | "Random.init" | "Random.full_init" ->

@@ -31,6 +31,13 @@
       [Bytes.unsafe_set], ...): allowed only behind an explicit bounds
       check, marked site-by-site with [[@lint.allow "unsafe-array"]] (the
       flat engine's inbox accessors are the canonical example).
+    - [deprecated-fault-alias] — uses of [Fault.drop_only], the
+      pre-recovery plan classifier; [Fault.maskable ?with_recovery] is
+      the replacement now that crash windows are maskable under a
+      recovery contract.
+
+    The typed rules ([domain-race], [congest-width]) live in
+    {!Typed_lint} and run over [.cmt] artifacts via [lint.exe --typed].
 
     {2 Suppression}
 
@@ -47,6 +54,15 @@ type zone = Lib | Bin | Bench | Test | Other
 val zone_of_path : string -> zone
 (** Classifies a '/'-separated path by its first component; zones decide
     which rules apply where. *)
+
+val normalize : string -> string
+(** Strips leading [./] and [../] segments so zone and allowlist lookups
+    see repo-relative paths regardless of the scan's working directory. *)
+
+val allow_ids : Parsetree.attributes -> string list
+(** Rule ids named by [[@lint.allow "..."]] attributes; ["*"] for an
+    empty or malformed payload (fail open).  Shared with the typed pass
+    ({!Typed_lint}) — Typedtree attributes are Parsetree attributes. *)
 
 type rule = {
   id : string;  (** the id used by suppressions and reports *)

@@ -1,0 +1,50 @@
+(** dsf-lint's typed analysis layer: rules that need resolved names,
+    binder identity, and types, driven by compiler-produced [.cmt] files
+    ({!Cmt_format} + {!Tast_iterator}) instead of the Parsetree.
+
+    {2 Rules}
+
+    - [domain-race] — a per-compilation-unit escape/ownership analysis
+      over every [Sim.flat_protocol] record: [fp_step] / [fp_init] bodies
+      may mutate only state reached from their own arguments (the step's
+      view, state, inbox, and emit), plus the one sanctioned idiom of a
+      captured per-node slot indexed by the step's own [view.node].
+      Flagged: writes to captured toplevel/shared mutable values,
+      cross-node indexing into captured containers, closures that smuggle
+      shared state into the step, and references to unit-local helper
+      functions that (transitively) mutate their free variables.
+    - [congest-width] — every [Dsf_util.Pack.layout] must provably fit
+      the 62-bit packed word: each field width must be a compile-time
+      constant or derived from [Pack.width_of_max] / [Bitsize.*]
+      (O(log n) by construction), and the constant portion (plus one bit
+      per variable field) must not exceed 62.  [fp_msg_bits] bodies
+      declaring a constant or literal bit count above 62 are flagged too.
+
+    Suppression uses the same [[@lint.allow "rule-id"]] attributes as the
+    Parsetree pass (they survive into the Typedtree).
+
+    {2 Honesty}
+
+    The interprocedural part is per compilation unit: cross-module calls
+    ([M.f]) are assumed pure.  Mutation detection covers the stdlib's
+    in-place primitives; a same-unit helper that mutates its free
+    variables taints every step that references it, transitively. *)
+
+val rules : Lint.rule list
+(** The typed rule catalogue, in report order. *)
+
+val analyze_structure : file:string -> Typedtree.structure -> Finding.t list
+(** Runs both typed rules over one implementation's Typedtree; [file] is
+    the fallback path reported when a location carries no filename.
+    Findings are sorted. *)
+
+val check_cmt : string -> (Finding.t list, string) result
+(** Reads one [.cmt] and analyzes it.  Non-implementation artifacts
+    (interfaces, packs) yield [Ok []]; unreadable or version-skewed files
+    yield [Error]. *)
+
+val scan : roots:string list -> Finding.t list * string list
+(** Walks each root (directory or single [.cmt]) collecting every [.cmt]
+    underneath — including dot-directories, where dune keeps its [.objs]
+    artifacts — and returns all findings (sorted, deduplicated) plus any
+    per-file errors. *)

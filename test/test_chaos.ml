@@ -157,11 +157,15 @@ let test_maskable_classifier () =
   let outage = Fault.plan ~link_down:[ 0, 1, 2, 5 ] ~seed:1 () in
   let crash = Fault.plan ~crashes:[ 0, 2, 4 ] ~seed:1 () in
   Alcotest.(check bool) "drops maskable" true (Fault.maskable drops);
-  Alcotest.(check bool) "drops drop_only" true (Fault.drop_only drops);
-  (* [maskable] is strictly wider than the historical [drop_only]: finite
-     outages were already healed by capped-backoff retransmission. *)
+  Alcotest.(check bool) "drops maskable without recovery" true
+    (Fault.maskable ~with_recovery:false drops);
+  (* [maskable] is strictly wider than the deprecated [drop_only] (whose
+     remaining uses the deprecated-fault-alias lint rule now flags):
+     finite outages are healed by capped-backoff retransmission alone,
+     no recovery contract needed. *)
   Alcotest.(check bool) "outage maskable" true (Fault.maskable outage);
-  Alcotest.(check bool) "outage not drop_only" false (Fault.drop_only outage);
+  Alcotest.(check bool) "outage maskable without recovery" true
+    (Fault.maskable ~with_recovery:false outage);
   Alcotest.(check bool) "crash needs recovery" false (Fault.maskable crash);
   Alcotest.(check bool) "crash maskable with recovery" true
     (Fault.maskable ~with_recovery:true crash);

@@ -171,6 +171,22 @@ let test_unsafe_array () =
   fires ~file:"lib/congest/bfs.ml" "unsafe-array"
     "let get a i = Array.unsafe_get a i"
 
+(* ------------------------------------------------- deprecated-fault-alias *)
+
+let test_fault_alias () =
+  fires ~file:"lib/core/bad.ml" "deprecated-fault-alias"
+    "let classify p = Fault.drop_only p";
+  (* deprecation is deprecation in every zone, tests included *)
+  fires ~file:"test/test_x.ml" "deprecated-fault-alias"
+    "let classify p = Dsf_congest.Fault.drop_only p";
+  quiet ~file:"lib/core/good.ml" "let classify p = Fault.maskable p";
+  (* the same name on an unrelated module stays quiet *)
+  quiet ~file:"lib/core/good.ml" "let classify p = Filter.drop_only p";
+  (* pinning the historical semantics under an explicit allow is fine *)
+  quiet ~file:"test/test_x.ml"
+    "let classify p = \
+     (Fault.drop_only [@lint.allow \"deprecated-fault-alias\"]) p"
+
 (* ------------------------------------------------------------ suppression *)
 
 let test_suppression () =
@@ -210,7 +226,8 @@ let test_zones_and_errors () =
   (match Lint.check_string ~file:"lib/core/broken.ml" "let = 3 in" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "parse error expected");
-  check Alcotest.int "rule catalogue" 6 (List.length Lint.rules)
+  check Alcotest.int "rule catalogue" 7 (List.length Lint.rules);
+  check Alcotest.int "typed rule catalogue" 2 (List.length Typed_lint.rules)
 
 (* --------------------------------------------------------------- baseline *)
 
@@ -267,6 +284,56 @@ let test_repo_clean () =
     check Alcotest.int "repo findings" 0 (List.length findings)
   end
 
+(* ------------------------------------------------------------ typed rules *)
+
+(* The typed pass runs over .cmt artifacts, which live next to this test
+   binary inside the build context (dune's dev profile emits -bin-annot).
+   Linking dsf_lint_fixtures into test_main guarantees the fixture cmts
+   exist whenever the tests run; outside the build tree the scans skip
+   silently, like test_repo_clean. *)
+
+let test_typed_fixtures () =
+  let root = Filename.concat "fixtures" ".dsf_lint_fixtures.objs" in
+  if Sys.file_exists root then begin
+    let findings, errors = Typed_lint.scan ~roots:[ root ] in
+    check Alcotest.(list string) "no scan errors" [] errors;
+    let by rule =
+      List.filter (fun (f : Finding.t) -> f.Finding.rule = rule) findings
+    in
+    let races = by "domain-race" and widths = by "congest-width" in
+    (* racy_flat.ml seeds two distinct races: a toplevel ref and a write
+       to another node's slot of the captured storage *)
+    check Alcotest.bool "seeded cross-domain writes flagged" true
+      (List.length races >= 2);
+    check Alcotest.bool "race findings name racy_flat.ml" true
+      (List.for_all
+         (fun (f : Finding.t) -> Filename.basename f.Finding.file = "racy_flat.ml")
+         races);
+    (* wide_pack.ml seeds an 80-bit layout, an unverifiable width, and a
+       200-bit fp_msg_bits *)
+    check Alcotest.bool "over-wide fixtures flagged" true
+      (List.length widths >= 3);
+    check Alcotest.bool "width findings name wide_pack.ml" true
+      (List.for_all
+         (fun (f : Finding.t) -> Filename.basename f.Finding.file = "wide_pack.ml")
+         widths);
+    check Alcotest.int "no other rules fire" 0
+      (List.length findings - List.length races - List.length widths);
+    (* the scan output is already in Finding.compare order (stable CI) *)
+    check Alcotest.bool "findings sorted" true
+      (List.sort Finding.compare findings = findings)
+  end
+
+let test_typed_repo_clean () =
+  let root = Filename.concat ".." "lib" in
+  if Sys.file_exists root then begin
+    let findings, errors = Typed_lint.scan ~roots:[ root ] in
+    check Alcotest.(list string) "no scan errors" [] errors;
+    List.iter (fun f -> Format.eprintf "%a@." Finding.pp f) findings;
+    check Alcotest.int "typed findings on shipped libraries" 0
+      (List.length findings)
+  end
+
 let suites =
   [
     ( "lint",
@@ -277,9 +344,14 @@ let suites =
         Alcotest.test_case "congest-discipline" `Quick test_congest_discipline;
         Alcotest.test_case "catch-all" `Quick test_catch_all;
         Alcotest.test_case "unsafe-array" `Quick test_unsafe_array;
+        Alcotest.test_case "deprecated-fault-alias" `Quick test_fault_alias;
         Alcotest.test_case "suppression" `Quick test_suppression;
         Alcotest.test_case "zones and parse errors" `Quick test_zones_and_errors;
         Alcotest.test_case "baseline" `Quick test_baseline;
         Alcotest.test_case "repo is lint-clean" `Quick test_repo_clean;
+        Alcotest.test_case "typed rules flag the fixtures" `Quick
+          test_typed_fixtures;
+        Alcotest.test_case "typed rules clean on shipped libs" `Quick
+          test_typed_repo_clean;
       ] );
   ]

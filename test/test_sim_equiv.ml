@@ -399,7 +399,7 @@ let prop_flat_native_bfs =
       let n = Graph.n g in
       let root = seed mod n in
       let tree, t_classic = Bfs.build g ~root in
-      let flat jobs = Sim.run_flat ~jobs g (Bfs.flat_protocol ~root) in
+      let flat jobs = Sim.run_flat ~jobs g (Bfs.flat_protocol ~n ~root) in
       let f1, t1 = flat 1 and f4, t4 = flat 4 in
       let same_tree = ref true in
       Array.iteri

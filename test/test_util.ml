@@ -197,6 +197,78 @@ let test_stats_ratio_summary () =
   check (Alcotest.float 1e-9) "hi" 3. hi;
   Alcotest.(check bool) "mean between" true (mean >= lo && mean <= hi)
 
+(* ----------------------------------------------------------------- Pack *)
+
+let invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: Invalid_argument expected" name
+
+let test_pack_exact_62 () =
+  (* The widest legal layout: exactly 62 bits.  The packed word with every
+     field saturated is still a non-negative immediate. *)
+  (match Pack.layout [ 31; 31 ] with
+  | [| a; b |] ->
+      check Alcotest.int "total width" 62 (Pack.total_width [| a; b |]);
+      let top = (1 lsl 31) - 1 in
+      let w = Pack.put b top (Pack.put a top 0) in
+      Alcotest.(check bool) "saturated word non-negative" true (w >= 0);
+      check Alcotest.int "field a round-trips" top (Pack.get a w);
+      check Alcotest.int "field b round-trips" top (Pack.get b w)
+  | _ -> Alcotest.fail "layout arity");
+  (match Pack.layout [ 62 ] with
+  | [| f |] ->
+      check Alcotest.int "single 62-bit field" 62 (Pack.field_width f)
+  | _ -> Alcotest.fail "layout arity")
+
+let test_pack_overflow_rejected () =
+  (* One bit over the word, in either shape, is a construction error. *)
+  invalid "63-bit pair" (fun () -> Pack.layout [ 31; 32 ]);
+  invalid "single 63-bit field" (fun () -> Pack.layout [ 63 ]);
+  invalid "zero-width field" (fun () -> Pack.layout [ 0; 4 ]);
+  invalid "empty layout" (fun () -> Pack.layout []);
+  invalid "negative width_of_max" (fun () -> Pack.width_of_max (-1))
+
+let test_pack_sentinel_roundtrip () =
+  (* Negative ints live outside every packed domain, so -1 is free as an
+     out-of-band sentinel (the flat BFS "unreached" state): writing it is
+     rejected, and a sentinel-carrying variable round-trips untouched. *)
+  match Pack.layout [ 1; 7; 8 ] with
+  | [| flag; depth; parent |] ->
+      Alcotest.(check bool) "-1 does not fit" false (Pack.fits depth (-1));
+      invalid "put -1" (fun () -> Pack.put depth (-1) 0);
+      invalid "set -1" (fun () -> Pack.set depth (-1) 0);
+      let st = ref (-1) in
+      (if !st >= 0 then st := Pack.put flag 1 !st);
+      check Alcotest.int "sentinel survives the guarded path" (-1) !st;
+      (* leaving the sentinel: a fresh word packs and unpacks exactly *)
+      st := Pack.put parent 200 (Pack.put depth 100 (Pack.put flag 1 0));
+      check Alcotest.int "flag" 1 (Pack.get flag !st);
+      check Alcotest.int "depth" 100 (Pack.get depth !st);
+      check Alcotest.int "parent" 200 (Pack.get parent !st);
+      st := Pack.set depth 0 !st;
+      check Alcotest.int "cleared depth" 0 (Pack.get depth !st);
+      check Alcotest.int "parent untouched by set" 200 (Pack.get parent !st)
+  | _ -> Alcotest.fail "layout arity"
+
+let test_pack_edge_values () =
+  match Pack.layout [ 4; 4 ] with
+  | [| a; b |] ->
+      Alcotest.(check bool) "0 fits" true (Pack.fits a 0);
+      Alcotest.(check bool) "2^w-1 fits" true (Pack.fits a 15);
+      Alcotest.(check bool) "2^w rejected" false (Pack.fits a 16);
+      invalid "put 2^w" (fun () -> Pack.put a 16 0);
+      check Alcotest.int "0 round-trips" 0 (Pack.get a (Pack.put a 0 0));
+      check Alcotest.int "2^w-1 round-trips in the high field" 15
+        (Pack.get b (Pack.put b 15 0));
+      (* width_of_max edges: powers of two straddle a width boundary *)
+      check Alcotest.int "width_of_max 0" 1 (Pack.width_of_max 0);
+      check Alcotest.int "width_of_max 1" 1 (Pack.width_of_max 1);
+      check Alcotest.int "width_of_max 2" 2 (Pack.width_of_max 2);
+      check Alcotest.int "width_of_max 15" 4 (Pack.width_of_max 15);
+      check Alcotest.int "width_of_max 16" 5 (Pack.width_of_max 16)
+  | _ -> Alcotest.fail "layout arity"
+
 let suites =
   [
     ( "util.rng",
@@ -223,6 +295,15 @@ let suites =
         Alcotest.test_case "empty" `Quick test_heap_empty;
         Alcotest.test_case "peek" `Quick test_heap_peek;
         qtest prop_heap_sorted;
+      ] );
+    ( "util.pack",
+      [
+        Alcotest.test_case "exact 62-bit layouts" `Quick test_pack_exact_62;
+        Alcotest.test_case "overflow rejected" `Quick
+          test_pack_overflow_rejected;
+        Alcotest.test_case "-1 sentinel round-trip" `Quick
+          test_pack_sentinel_roundtrip;
+        Alcotest.test_case "edge values" `Quick test_pack_edge_values;
       ] );
     ( "util.bitsize",
       [
