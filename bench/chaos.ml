@@ -140,7 +140,7 @@ let soak () =
               | exception Sim.Round_limit a ->
                   Format.eprintf
                     "chaos soak: %s/%s/%s hit the round limit@.%a@." cname
-                    leg.sname ename Dsf_congest.Trace.pp_postmortem a;
+                    leg.sname ename (Dsf_congest.Trace.pp_postmortem ?recorder:None) a;
                   incr failures)
             engines)
         protocols)

@@ -19,6 +19,12 @@
                                               abort)
    dune exec bench/main.exe -- flatcheck   -- flat-vs-active engine differential
                                               smoke (exits nonzero on divergence)
+   dune exec bench/main.exe -- compare OLD.json NEW.json
+                                           -- diff two BENCH_sim.json files
+                                              (rounds/s, words/round, phase
+                                              profile) with a tolerance-based
+                                              regression verdict (exits
+                                              nonzero on regression)
 
    Options (after the mode):
      --jobs N, -j N   domains for the pooled sweeps and trial fan-outs
@@ -29,23 +35,57 @@
      --trace PATH     additionally write a telemetry trace of the profiled
                       workloads (E1 + A6) to PATH ('-' = stdout)
      --trace-format F trace rendering: console | jsonl | chrome
-                      (default chrome) *)
+                      (default: inferred from the --trace extension —
+                      .json = chrome, .jsonl = jsonl, else console)
+   compare options:
+     --tol PCT        tolerance (percent) for guarded metrics (default 25)
+     --strict-timing  fail on timing regressions too (default: advisory) *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [all|tables|ablations|micro|smoke|chaos|chaos-soak|flatcheck] \
      [--jobs N] [--out PATH] [--trace PATH] \
-     [--trace-format console|jsonl|chrome]";
+     [--trace-format console|jsonl|chrome]\n\
+    \       main.exe compare OLD.json NEW.json [--tol PCT] [--strict-timing]";
   exit 2
+
+let infer_trace_format path =
+  if Filename.check_suffix path ".json" then "chrome"
+  else if Filename.check_suffix path ".jsonl" then "jsonl"
+  else "console"
+
+(* The compare mode has positional operands, which the generic option loop
+   below rejects — dispatch it before entering that loop. *)
+let compare_main () =
+  let argc = Array.length Sys.argv in
+  let old_path = ref None and new_path = ref None in
+  let tol = ref 25.0 and strict = ref false in
+  let i = ref 2 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--tol" when !i + 1 < argc ->
+        incr i;
+        tol := (try float_of_string Sys.argv.(!i) with Failure _ -> usage ())
+    | "--strict-timing" -> strict := true
+    | s when String.length s > 0 && s.[0] = '-' -> usage ()
+    | s when !old_path = None -> old_path := Some s
+    | s when !new_path = None -> new_path := Some s
+    | _ -> usage ());
+    incr i
+  done;
+  match !old_path, !new_path with
+  | Some o, Some n -> exit (Compare.run ~old_path:o ~new_path:n ~tol:!tol ~strict:!strict)
+  | _ -> usage ()
 
 let () =
   let argc = Array.length Sys.argv in
   let has_mode = argc > 1 && String.length Sys.argv.(1) > 0 && Sys.argv.(1).[0] <> '-' in
   let what = if has_mode then Sys.argv.(1) else "all" in
+  if what = "compare" then compare_main ();
   let jobs = ref (Dsf_util.Pool.default_jobs ()) in
   let out = ref "BENCH_sim.json" in
   let trace = ref None in
-  let trace_format = ref "chrome" in
+  let trace_format = ref None in
   let i = ref (if has_mode then 2 else 1) in
   while !i < argc do
     (match Sys.argv.(!i) with
@@ -60,7 +100,7 @@ let () =
         trace := Some Sys.argv.(!i)
     | "--trace-format" when !i + 1 < argc ->
         incr i;
-        trace_format := Sys.argv.(!i)
+        trace_format := Some Sys.argv.(!i)
     | _ -> usage ());
     incr i
   done;
@@ -69,7 +109,12 @@ let () =
     match !trace with
     | None -> None
     | Some path -> begin
-        match Dsf_congest.Telemetry.sink_format_of_string !trace_format with
+        let fmt =
+          match !trace_format with
+          | Some f -> f
+          | None -> infer_trace_format path
+        in
+        match Dsf_congest.Telemetry.sink_format_of_string fmt with
         | Ok format -> Some (format, path)
         | Error msg -> prerr_endline msg; usage ()
       end

@@ -9,7 +9,7 @@
    - [smoke] (the `-- smoke` mode): only the engine head-to-heads at a tiny
      measurement quota — fast enough for every-PR CI (bin/ci.sh).
 
-   Both modes write BENCH_sim.json (schema dsf-bench-sim/7: ns/run, minor GC
+   Both modes write BENCH_sim.json (schema dsf-bench-sim/8: ns/run, minor GC
    words/run, rounds/s, the active/reference/flat speedups, plus
    provenance — git_rev, utc_date, jobs, cores — a parallel_scaling
    section timing the pooled fan-outs at jobs = 1 / 2 / max (each row
@@ -26,7 +26,9 @@
    checkpointed crash recovery at increasing crash-window counts on the E1
    and A6 workloads (fault-free baselines inline), and a phase_profile section with the
    telemetry span tree of the E1 and A6 workloads — per-phase rounds,
-   messages and bits under an injected constant clock) so later PRs can
+   messages and bits under an injected constant clock, and a
+   recorder_overhead section tabulating the flight recorder's event count,
+   log size and wall-clock cost on flat det_dsf solves at n = 1024) so later PRs can
    diff simulator performance against this one.  Each parallel_scaling workload carries a
    deterministic "check" value that must not depend on jobs, and every
    fault_overhead field is PRF-deterministic; bin/ci.sh diffs the
@@ -732,6 +734,86 @@ let print_e2e rows =
         e.e2_rps e.e2_words_per_round e.e2_speedup)
     rows
 
+(* ----------------------------------------------------- recorder overhead *)
+
+(* Flight-recorder cost on representative flat det_dsf solves: the same
+   instance solved bare and with a recorder attached through telemetry —
+   the exact path `dsf_cli solve --record` takes.  [ro_events],
+   [ro_log_bytes] and [ro_rounds] are deterministic (the recorder is
+   created at ~now:0 so the serialized header does not embed wall time);
+   the wall columns are timing-class noise that bench compare keeps in
+   its advisory lane.  The design target is single-digit-percent
+   overhead: every event append is a handful of int stores into a
+   per-domain buffer, and the barrier merge is O(events). *)
+
+type recorder_row = {
+  ro_workload : string;
+  ro_n : int;
+  ro_rounds : int;
+  ro_events : int;
+  ro_log_bytes : int;
+  ro_base_wall_ns : float;
+  ro_rec_wall_ns : float;
+  ro_overhead_pct : float;
+}
+
+let measure_recorder () =
+  List.map
+    (fun (name, fam, n) ->
+      let inst = e2e_instance fam n in
+      ignore (Dsf_graph.Graph.csr inst.Inst.graph);
+      let best f =
+        let b = ref infinity and res = ref None in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+          if ns < !b then begin
+            b := ns;
+            res := Some r
+          end
+        done;
+        (Option.get !res, !b)
+      in
+      let base, base_ns =
+        best (fun () -> Dsf_core.Det_dsf.run ~flat:true inst)
+      in
+      let rcd, rec_ns =
+        best (fun () ->
+            let r = Dsf_congest.Recorder.create ~now:0 () in
+            let tel = Dsf_congest.Telemetry.create ~recorder:r () in
+            let res = Dsf_core.Det_dsf.run ~flat:true ~telemetry:tel inst in
+            if res.Dsf_core.Det_dsf.weight <> base.Dsf_core.Det_dsf.weight
+            then failwith "recorder_overhead: recording changed the solve";
+            r)
+      in
+      {
+        ro_workload = name;
+        ro_n = n;
+        ro_rounds = Dsf_congest.Ledger.simulated base.Dsf_core.Det_dsf.ledger;
+        ro_events = Dsf_congest.Recorder.event_count rcd;
+        ro_log_bytes = String.length (Dsf_congest.Recorder.to_string rcd);
+        ro_base_wall_ns = base_ns;
+        ro_rec_wall_ns = rec_ns;
+        ro_overhead_pct = (rec_ns -. base_ns) /. base_ns *. 100.;
+      })
+    [
+      "det_dsf path", `Path, 1024;
+      "det_dsf random", `Random, 1024;
+      "det_dsf gadget", `Gadget, 1024;
+    ]
+
+let print_recorder rows =
+  Format.printf "@.%-28s %8s %10s %10s %12s %12s %12s %10s@."
+    "recorder overhead" "n" "rounds" "events" "log bytes" "base ns"
+    "recorded ns" "ovh %";
+  List.iter
+    (fun r ->
+      Format.printf "%-28s %8d %10d %10d %12d %12.0f %12.0f %10.1f@."
+        r.ro_workload r.ro_n r.ro_rounds r.ro_events r.ro_log_bytes
+        r.ro_base_wall_ns r.ro_rec_wall_ns r.ro_overhead_pct)
+    rows
+
 (* ------------------------------------------------------- flatcheck smoke *)
 
 (* Flat-vs-active differential smoke for bin/ci.sh (`-- flatcheck`): a
@@ -1103,10 +1185,10 @@ let json_float x =
   if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
   else Printf.sprintf "%.1f" x
 
-let write_json ~mode ~jobs rows sp scaling fo fr flat e2e profile path =
+let write_json ~mode ~jobs rows sp scaling fo fr flat e2e rcd profile path =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  p "{\n  \"schema\": \"dsf-bench-sim/7\",\n  \"mode\": %S,\n" mode;
+  p "{\n  \"schema\": \"dsf-bench-sim/8\",\n  \"mode\": %S,\n" mode;
   p "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   p "  \"utc_date\": \"%s\",\n" (utc_date ());
   p "  \"jobs\": %d,\n" jobs;
@@ -1217,6 +1299,20 @@ let write_json ~mode ~jobs rows sp scaling fo fr flat e2e profile path =
         v.rv_recovery_rounds v.rv_checkpoint_bits wall v.rv_masked
         (if i = List.length fr - 1 then "" else ","))
     fr;
+  p "  ],\n  \"recorder_overhead\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"workload\": \"%s\", \"n\": %d, \"rounds\": %d, \"events\": \
+         %d, \"log_bytes\": %d, \"base_wall_ns\": %s, \"rec_wall_ns\": %s, \
+         \"overhead_pct\": %s}%s\n"
+        (json_escape r.ro_workload) r.ro_n r.ro_rounds r.ro_events
+        r.ro_log_bytes
+        (json_float r.ro_base_wall_ns)
+        (json_float r.ro_rec_wall_ns)
+        (json_float r.ro_overhead_pct)
+        (if i = List.length rcd - 1 then "" else ","))
+    rcd;
   p "  ],\n  \"phase_profile\": [\n";
   List.iteri
     (fun i r ->
@@ -1251,7 +1347,9 @@ let run ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_fault_overhead fo;
   let fr = fault_recovery () in
   print_fault_recovery fr;
-  write_json ~mode:"micro" ~jobs rows sp scaling fo fr flat e2e
+  let rcd = measure_recorder () in
+  print_recorder rcd;
+  write_json ~mode:"micro" ~jobs rows sp scaling fo fr flat e2e rcd
     (phase_profile ()) out
 
 (* Smoke caps the flat sweeps at n=4096 and the e2e solve at n=256: the
@@ -1274,5 +1372,7 @@ let smoke ?(jobs = Dsf_util.Pool.default_jobs ()) ?(out = "BENCH_sim.json") () =
   print_fault_overhead fo;
   let fr = fault_recovery () in
   print_fault_recovery fr;
-  write_json ~mode:"smoke" ~jobs rows sp scaling fo fr flat e2e
+  let rcd = measure_recorder () in
+  print_recorder rcd;
+  write_json ~mode:"smoke" ~jobs rows sp scaling fo fr flat e2e rcd
     (phase_profile ()) out

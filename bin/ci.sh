@@ -3,6 +3,10 @@
 # differential suite), the chaos smoke (hardened-vs-lossless differential
 # under a fixed fault plan), and the fast simulator benchmark smoke path
 # so the bench harness and JSON emission are exercised on every change.
+# A flight-recorder smoke records a flat det_dsf solve and replays every
+# inspect query against the log, and the fresh smoke bench is diffed
+# against the committed BENCH_sim.json with `bench compare` (exact
+# metrics gate, timing advisory).
 #
 # The smoke bench runs twice — --jobs 1 and --jobs 2 — and the two JSONs
 # are diffed with the measured-time fields stripped: the domain pool may
@@ -88,6 +92,27 @@ echo "ci: det_dsf chaos differential ok (classic + flat j2, n=96)"
 # standalone counterpart of the qcheck differential suite).
 with_timeout 300 dune exec bench/main.exe -- flatcheck
 
+# Flight-recorder smoke: record a whole flat det_dsf solve at n=1024,
+# then run every inspect query against the written log.  The recorder
+# must not perturb the solve, the log must parse, and --critical-path
+# must print an achieved causal depth next to the paper bound — all
+# under a hard timeout so a recorder that wedges the barrier (or an
+# inspector that loops on a malformed chain) fails loudly.
+with_timeout 300 dune exec bin/dsf_cli.exe -- solve --algo det --flat \
+  --jobs 2 --topology path --nodes 1024 --terminals 16 --components 4 \
+  --seed 5 --record "$scratch/solve.flightlog" > /dev/null
+with_timeout 120 dune exec bin/dsf_cli.exe -- inspect \
+  "$scratch/solve.flightlog" --critical-path > "$scratch/inspect_cp.out"
+grep -q "critical path: causal depth" "$scratch/inspect_cp.out" || {
+  echo "ci: inspect --critical-path printed no causal depth" >&2; exit 1; }
+grep -q "paper bound" "$scratch/inspect_cp.out" || {
+  echo "ci: inspect --critical-path printed no paper bound" >&2; exit 1; }
+with_timeout 120 dune exec bin/dsf_cli.exe -- inspect \
+  "$scratch/solve.flightlog" --why 512 > /dev/null
+with_timeout 120 dune exec bin/dsf_cli.exe -- inspect \
+  "$scratch/solve.flightlog" --hot-edges 5 > /dev/null
+echo "ci: flight-recorder smoke ok (record + inspect, flat n=1024)"
+
 # Flat end-to-end smoke: a whole det_dsf solve on the flat engine at
 # n=4096 (a path — the wavefront-dominated worst case) must finish inside
 # the hard timeout; the CLI certifies the forest and dual locally, so a
@@ -122,7 +147,7 @@ with_timeout 600 dune exec bench/main.exe -- smoke --jobs 2 --out "$scratch/benc
 # (jobs, utc_date); everything left must match exactly.
 strip_timing() {
   sed -E \
-    -e 's/"(ns_per_run|r_square|minor_words_per_run|minor_words_per_round|rounds_per_sec|active_ns|reference_ns|flat_ns|flat_speedup|speedup_vs_j1|speedup_vs_active|speedup|wall_ns|wall_overhead)": [^,}]*/"\1": _/g' \
+    -e 's/"(ns_per_run|r_square|minor_words_per_run|minor_words_per_round|rounds_per_sec|active_ns|reference_ns|flat_ns|flat_speedup|speedup_vs_j1|speedup_vs_active|speedup|wall_ns|base_wall_ns|rec_wall_ns|overhead_pct|wall_overhead)": [^,}]*/"\1": _/g' \
     -e 's/"(utc_date|jobs)": [^,}]*/"\1": _/g' \
     "$1"
 }
@@ -133,6 +158,17 @@ if ! diff -u "$scratch/bench_j1.flat" "$scratch/bench_j2.flat"; then
   exit 1
 fi
 echo "ci: smoke bench is jobs-invariant"
+
+# Benchmark regression gate: diff the fresh smoke bench against the
+# committed baseline with `bench compare` — deterministic metrics
+# (rounds, messages, weights, fault counters) must match the committed
+# values exactly, allocation figures stay within the default tolerance,
+# and timing differences are advisory (machines differ).  The committed
+# baseline is micro-mode, so rows the smoke mode does not measure are
+# reported as notes, never failures; compare exits 1 on any regression.
+with_timeout 120 dune exec bench/main.exe -- compare \
+  BENCH_sim.json "$scratch/bench_j1.json"
+echo "ci: bench compare regression gate ok"
 
 # GC gate: the flat engine's steady-state allocation must not regress,
 # checked per ported protocol.  Compares every fresh flat_engine

@@ -45,13 +45,26 @@ let load_or_generate file topology rng n t k max_w =
 
 (* --trace plumbing: parse the format up front (so a typo fails before the
    solve, not after), collect into a fresh per-invocation telemetry, write
-   the chosen rendering at the end. *)
-let trace_sink trace trace_format =
+   the chosen rendering at the end.  With no explicit --trace-format the
+   format is inferred from the file extension: .json is a Chrome
+   trace_event file, .jsonl the JSONL dump, anything else (including
+   stdout) the console tree. *)
+let infer_trace_format path =
+  if Filename.check_suffix path ".json" then "chrome"
+  else if Filename.check_suffix path ".jsonl" then "jsonl"
+  else "console"
+
+let trace_sink ?recorder trace trace_format =
   match trace with
   | None -> None
   | Some path -> begin
-      match Dsf_congest.Telemetry.sink_format_of_string trace_format with
-      | Ok format -> Some (Dsf_congest.Telemetry.create (), format, path)
+      let fmt =
+        match trace_format with
+        | Some f -> f
+        | None -> infer_trace_format path
+      in
+      match Dsf_congest.Telemetry.sink_format_of_string fmt with
+      | Ok format -> Some (Dsf_congest.Telemetry.create ?recorder (), format, path)
       | Error msg -> invalid_arg msg
     end
 
@@ -66,9 +79,21 @@ let write_trace = function
       if path <> "-" then Format.printf "wrote trace to %s@." path
 
 let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
-    flat chaos_seed trace trace_format =
-  let sink = trace_sink trace trace_format in
-  let telemetry = telemetry_of_sink sink in
+    flat chaos_seed record trace trace_format =
+  let recorder =
+    Option.map (fun _ -> Dsf_congest.Recorder.create ()) record
+  in
+  let sink = trace_sink ?recorder trace trace_format in
+  let telemetry =
+    match telemetry_of_sink sink, recorder with
+    | (Some _ as t), _ -> t
+    | None, Some r ->
+        (* --record without --trace: the recorder still rides on a
+           telemetry (that is how the engines and Fault find it); the
+           telemetry itself is discarded at the end. *)
+        Some (Dsf_congest.Telemetry.create ~recorder:r ())
+    | None, None -> None
+  in
   let rng = Dsf_util.Rng.create seed in
   let inst = load_or_generate file topology rng n t k max_w in
   let g = inst.Instance.graph in
@@ -77,6 +102,24 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
     (Graph.m g) d wd s
     (Instance.terminal_count inst)
     (Instance.component_count inst);
+  (* Instance parameters into the flightlog metadata: `inspect
+     --critical-path` renders the paper bound sqrt(min(s*t, n))*log2(n) + D
+     from exactly these keys. *)
+  (match recorder with
+  | Some r ->
+      List.iter
+        (fun (key, v) -> if v >= 0 then Dsf_congest.Recorder.meta_add r key v)
+        [
+          "n", Graph.n g;
+          "m", Graph.m g;
+          "D", d;
+          "WD", wd;
+          "s", s;
+          "t", Instance.terminal_count inst;
+          "k", Instance.component_count inst;
+          "seed", seed;
+        ]
+  | None -> ());
   (match chaos_seed with
   | Some _ when algo <> "det" ->
       invalid_arg "--chaos is only supported with --algo det"
@@ -157,7 +200,13 @@ let solve_cmd algo topology n t k max_w seed eps_den verbose file dot_out jobs
         ();
       Format.printf "wrote %s@." path
   | None -> ());
-  write_trace sink
+  write_trace sink;
+  match record, recorder with
+  | Some path, Some r ->
+      Dsf_congest.Recorder.write_file r path;
+      Format.printf "wrote flightlog to %s (%d events)@." path
+        (Dsf_congest.Recorder.event_count r)
+  | _ -> ()
 
 let compare_cmd topology n t k max_w seed file jobs trace trace_format =
   let sink = trace_sink trace trace_format in
@@ -258,6 +307,51 @@ let gadget_cmd kind universe seed intersect =
         heavy bits
   | other -> invalid_arg ("unknown gadget kind: " ^ other)
 
+(* inspect: offline queries over a dsf-flightlog/1 file written by
+   `solve --record`.  With no query flag, print the summary header. *)
+
+let parse_why_spec s =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf "--why expects NODE or NODE:ROUND, got %S" s)
+  in
+  let int_of s = match int_of_string_opt s with Some v -> v | None -> bad () in
+  match String.index_opt s ':' with
+  | None -> int_of s, None
+  | Some i ->
+      ( int_of (String.sub s 0 i),
+        Some (int_of (String.sub s (i + 1) (String.length s - i - 1))) )
+
+let inspect_cmd log_path why diff critical hot =
+  match Dsf_congest.Recorder.read_file log_path with
+  | Error msg ->
+      Format.eprintf "inspect: %s: %s@." log_path msg;
+      exit 2
+  | Ok log ->
+      let a = Dsf_congest.Recorder.analyze log in
+      let queried = ref false in
+      (match why with
+      | Some spec ->
+          queried := true;
+          let node, round = parse_why_spec spec in
+          Format.printf "%a" (Dsf_congest.Recorder.pp_why ~node ?round) a
+      | None -> ());
+      (match diff with
+      | Some (r1, r2) ->
+          queried := true;
+          Format.printf "%a" (Dsf_congest.Recorder.pp_diff ~r1 ~r2) a
+      | None -> ());
+      if critical then begin
+        queried := true;
+        Format.printf "%a" Dsf_congest.Recorder.pp_critical_path a
+      end;
+      (match hot with
+      | Some limit ->
+          queried := true;
+          Format.printf "%a" (Dsf_congest.Recorder.pp_hot_edges ~limit) a
+      | None -> ());
+      if not !queried then Format.printf "%a" Dsf_congest.Recorder.pp_summary a
+
 open Cmdliner
 
 let topology_arg =
@@ -286,9 +380,23 @@ let trace_arg =
 let trace_format_arg =
   Arg.(
     value
-    & opt string "chrome"
+    & opt (some string) None
     & info [ "trace-format" ]
-        ~doc:"trace rendering: console | jsonl | chrome (Perfetto-loadable trace_event JSON)")
+        ~doc:
+          "trace rendering: console | jsonl | chrome (Perfetto-loadable \
+           trace_event JSON).  Default: inferred from the --trace file \
+           extension (.json = chrome, .jsonl = jsonl, else console)")
+
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"LOG"
+        ~doc:
+          "record a flight log (dsf-flightlog/1: per-round message sends \
+           with fault fates, mail-consuming steps, crash windows, telemetry \
+           span boundaries) of the main solve to this file; query it with \
+           `dsf_cli inspect'.  The certification re-run is not recorded")
 
 let jobs_arg =
   Arg.(
@@ -333,7 +441,7 @@ let solve_term =
   Term.(
     const solve_cmd $ algo $ topology_arg $ nodes_arg $ t_arg $ k_arg $ maxw_arg
     $ seed_arg $ eps_den $ verbose $ file_arg $ dot_out $ jobs_arg $ flat_arg
-    $ chaos_arg $ trace_arg $ trace_format_arg)
+    $ chaos_arg $ record_arg $ trace_arg $ trace_format_arg)
 
 let compare_term =
   Term.(
@@ -360,15 +468,65 @@ let gadget_term =
   let intersect = Arg.(value & flag & info [ "intersect" ] ~doc:"plant one common element") in
   Term.(const gadget_cmd $ kind $ universe $ seed_arg $ intersect)
 
+let inspect_term =
+  let log_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOG" ~doc:"flightlog file written by solve --record")
+  in
+  let why =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "why" ] ~docv:"NODE[:ROUND]"
+          ~doc:
+            "causal backtrace of a node's state as of a global round \
+             (default: end of log): its last mail-consuming step, then the \
+             message chain that produced it, back to an origin")
+  in
+  let diff =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "diff" ] ~docv:"R1:R2"
+          ~doc:"traffic/state delta between two global rounds")
+  in
+  let critical =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "longest causal message chain, whole-run and per telemetry \
+             span, next to the paper bound sqrt(min(s*t, n))*log2(n) + D \
+             for the recorded instance")
+  in
+  let hot =
+    Arg.(
+      value
+      & opt ~vopt:(Some 10) (some int) None
+      & info [ "hot-edges" ] ~docv:"N"
+          ~doc:
+            "top N directed edges by causal load (total bits, message \
+             count, deepest chain across the edge)")
+  in
+  Term.(const inspect_cmd $ log_path $ why $ diff $ critical $ hot)
+
 let () =
   let solve = Cmd.v (Cmd.info "solve" ~doc:"solve a generated or loaded DSF instance") solve_term in
   let compare = Cmd.v (Cmd.info "compare" ~doc:"run all algorithms on one instance") compare_term in
   let params = Cmd.v (Cmd.info "params" ~doc:"print graph parameters D, WD, s") params_term in
   let gadget = Cmd.v (Cmd.info "gadget" ~doc:"run a Figure-1 lower-bound gadget") gadget_term in
   let verify = Cmd.v (Cmd.info "verify" ~doc:"re-check a solution file against an instance") verify_term in
+  let inspect =
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:"query a flightlog recorded with solve --record")
+      inspect_term
+  in
   let main =
     Cmd.group
       (Cmd.info "dsf_cli" ~doc:"Distributed Steiner Forest (Lenzen & Patt-Shamir, PODC 2014)")
-      [ solve; compare; params; gadget; verify ]
+      [ solve; compare; params; gadget; verify; inspect ]
   in
   exit (Cmd.eval main)

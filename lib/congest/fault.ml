@@ -474,7 +474,14 @@ let note_hardened telemetry states (stats : Sim.stats) =
         Ledger.add l Ledger.Simulated "fault/retransmissions" retrans;
         Ledger.add l Ledger.Simulated "fault/recovery_rounds"
           rs.recovery_rounds;
-        Ledger.add l Ledger.Charged "fault/checkpoint_bits" rs.checkpoint_bits
+        Ledger.add l Ledger.Charged "fault/checkpoint_bits" rs.checkpoint_bits;
+        (* Flight recorder riding on the telemetry: one recovery summary
+           event per hardened run with nonzero recovery work. *)
+        match Telemetry.recorder tel with
+        | Some r ->
+            Recorder.recovery r ~retransmissions:retrans
+              ~restores:rs.restores ~checkpoint_bits:rs.checkpoint_bits
+        | None -> ()
       end
   | None -> ());
   { stats with Sim.retransmissions = retrans }

@@ -81,6 +81,16 @@ let effective_observer per_run =
           g ~src ~dst ~bits;
           f ~src ~dst ~bits)
 
+(* The flight recorder a run actually writes: the explicit [?recorder]
+   parameter wins; otherwise a recorder attached to the run's telemetry
+   ([Telemetry.create ?recorder]) rides along.  Resolved once at run
+   start, like the observer. *)
+let effective_recorder recorder telemetry =
+  match recorder with
+  | Some _ -> recorder
+  | None -> (
+      match telemetry with Some t -> Telemetry.recorder t | None -> None)
+
 (* Per-node map from neighbor id to the *directed edge slot* of the edge
    towards that neighbor: edge [eid] sent from its stored [u] endpoint
    occupies slot [2*eid], from its [v] endpoint slot [2*eid + 1].  Built once
@@ -221,8 +231,12 @@ let tel_finish tel (s : stats) =
    from the seed are the slot-based recipient validation and the always-on
    post-mortem traffic ring.  Fault injection is an active-engine feature;
    this loop never sees a [faults] record. *)
-let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto =
+let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry ?recorder g
+    proto =
   let obs = effective_observer per_run in
+  let rcd = effective_recorder recorder telemetry in
+  let rec_on = Option.is_some rcd in
+  let rb = Recorder.buf_make () in
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 10_000 + (200 * n)
@@ -271,6 +285,9 @@ let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto =
       let inbox = List.rev inboxes.(v) in
       delivered := !delivered + List.length inbox;
       inboxes.(v) <- [];
+      (* The seed loop steps every node; the recorder stamps only
+         mail-consuming steps, the event all engines share. *)
+      if rec_on && inbox <> [] then Recorder.ev_step rb v;
       let state', outbox = proto.step views.(v) ~round:!round states.(v) ~inbox in
       states.(v) <- state';
       List.iter
@@ -284,6 +301,7 @@ let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto =
           | Some f -> f ~src:v ~dst ~bits
           | None -> ());
           ring_push ring ~round:!round ~src:v ~dst ~bits;
+          if rec_on then Recorder.ev_send rb ~src:v ~dst ~bits ~fate:1;
           let key = (v * n) + dst in
           let prev = Option.value ~default:0 (Hashtbl.find_opt edge_bits key) in
           let now = prev + bits in
@@ -300,6 +318,11 @@ let run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto =
       inboxes.(v) <- next_inboxes.(v);
       next_inboxes.(v) <- []
     done;
+    (match rcd with
+    | Some r ->
+        Recorder.round r !round;
+        Recorder.flush r rb
+    | None -> ());
     (* The one telemetry branch per round; the seed loop steps every node,
        so the active set is all of [n] and wake hooks never fire. *)
     (match telemetry with
@@ -573,9 +596,11 @@ let env_sanitize =
    only ever mask a violation, never invent one. *)
 let state_hash st = Hashtbl.hash_param 128 512 st
 
-let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
-    ?sanitize g fp =
+let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?recorder
+    ?(jobs = 1) ?sanitize g fp =
   let obs = effective_observer per_run in
+  let rcd = effective_recorder recorder telemetry in
+  let rec_on = Option.is_some rcd in
   let n = Graph.n g in
   let m = Graph.m g in
   let max_rounds =
@@ -594,6 +619,15 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
   let inboxes = Array.init n (fun _ -> mbuf_make ()) in
   let stage = Array.init jobs (fun _ -> Array.init n (fun _ -> mbuf_make ())) in
   let scr = Array.init jobs (fun _ -> scratch_make ()) in
+  (* Per-domain recorder staging, two buffers each: crash-window events
+     (the pre-pass) separate from step/send events, flushed fault-first
+     across all domains at the barrier — so the serialized stream shows
+     all of the round's downs/restarts in node order, then all
+     steps/sends in node order, exactly as the single-threaded engines
+     emit them.  That discipline is what keeps recorder-on output
+     byte-identical for any [jobs]. *)
+  let rb_fault = Array.init jobs (fun _ -> Recorder.buf_make ()) in
+  let rb_step = Array.init jobs (fun _ -> Recorder.buf_make ()) in
   let done_flag = Array.map fp.fp_is_done states in
   let done_count = ref 0 in
   Array.iter (fun d -> if d then incr done_count) done_flag;
@@ -679,6 +713,7 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
   let emit_for d =
     let s = scr.(d) in
     let stage_d = stage.(d) in
+    let rbs = rb_step.(d) in
     let deliver src dst msg =
       let mb = stage_d.(dst) in
       if mb.mlen = 0 then ibuf_push s.s_recip dst;
@@ -724,12 +759,19 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
       end
       else edge_bits.(p) <- prev + bits;
       match faults with
-      | None -> deliver src dst msg
+      | None ->
+          if rec_on then Recorder.ev_send rbs ~src ~dst ~bits ~fate:1;
+          deliver src dst msg
       | Some f -> (
           match f.on_send ~round:!round ~src ~dst with
-          | Deliver -> deliver src dst msg
-          | Drop -> s.s_dropped <- s.s_dropped + 1
+          | Deliver ->
+              if rec_on then Recorder.ev_send rbs ~src ~dst ~bits ~fate:1;
+              deliver src dst msg
+          | Drop ->
+              if rec_on then Recorder.ev_send rbs ~src ~dst ~bits ~fate:0;
+              s.s_dropped <- s.s_dropped + 1
           | Replicate k ->
+              if rec_on then Recorder.ev_send rbs ~src ~dst ~bits ~fate:k;
               for _ = 1 to k do
                 deliver src dst msg
               done;
@@ -741,6 +783,10 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
     let ib = inboxes.(v) in
     s.s_stepped <- s.s_stepped + 1;
     s.s_delivered <- s.s_delivered + ib.mlen;
+    (* Mail-consuming steps only: the same sanctioned-write site the
+       ownership sanitizer stamps, and the one step event every engine
+       agrees on (idle wake steps differ between engines). *)
+    if rec_on && ib.mlen > 0 then Recorder.ev_step rb_step.(d) v;
     s.s_cur_src <- v;
     let st' =
       fp.fp_step views.(v) ~round:!round states.(v) ~inbox:ib ~emit:emits.(d)
@@ -769,6 +815,7 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
           let dn = f.down ~round:!round ~node:v in
           down_now.(v) <- dn;
           if dn then begin
+            if rec_on then Recorder.ev_down rb_fault.(d) v;
             (* Mail delivered to a crashed node is lost. *)
             if inboxes.(v).mlen > 0 then begin
               s.s_dropped <- s.s_dropped + inboxes.(v).mlen;
@@ -778,6 +825,7 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
           end
           else if was_down.(v) then begin
             (* First round back up: restart from a fresh initial state. *)
+            if rec_on then Recorder.ev_restart rb_fault.(d) v;
             was_down.(v) <- false;
             states.(v) <- fp.fp_init views.(v);
             if sanitize then written.(v) <- !round;
@@ -830,6 +878,19 @@ let run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?(jobs = 1)
     ring_begin_round ring ~round:!round;
     if jobs = 1 then do_domain 0
     else ignore (Dsf_util.Pool.map_chunked ~jobs do_domain dom_ids);
+    (* Recorder barrier: round marker, then every domain's crash-window
+       events, then every domain's step/send events, both in domain =
+       node order (see [rb_fault]/[rb_step] above). *)
+    (match rcd with
+    | Some r ->
+        Recorder.round r !round;
+        for d = 0 to jobs - 1 do
+          Recorder.flush r rb_fault.(d)
+        done;
+        for d = 0 to jobs - 1 do
+          Recorder.flush r rb_step.(d)
+        done
+    | None -> ());
     (* Sequential merge at the barrier, in domain = node order, restoring
        the single-threaded engines' exact global send order. *)
     let bits0 = !total_bits in
@@ -1015,7 +1076,7 @@ let use_flat_engine = ref false [@@lint.allow "global-state"]
    stepped and mail arriving at it is destroyed (counted as dropped); on
    the first round a node is back up, its state is reset to [init]. *)
 let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
-    ?flat ?(jobs = 1) g proto =
+    ?flat ?(jobs = 1) ?recorder g proto =
   let reference =
     match reference with Some b -> b | None -> !use_reference_engine
   in
@@ -1027,13 +1088,17 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
     (match faults with
     | Some _ -> invalid_arg "Sim.run: ?faults requires the active engine"
     | None -> ());
-    run_reference ?max_rounds ?halt ?observer:per_run ?telemetry g proto
+    run_reference ?max_rounds ?halt ?observer:per_run ?telemetry ?recorder g
+      proto
   end
   else if flat then
-    run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ~jobs g
-      (flat_of_protocol proto)
+    run_flat ?max_rounds ?halt ?observer:per_run ?faults ?telemetry ?recorder
+      ~jobs g (flat_of_protocol proto)
   else begin
     let obs = effective_observer per_run in
+    let rcd = effective_recorder recorder telemetry in
+    let rec_on = Option.is_some rcd in
+    let rb = Recorder.buf_make () in
     let n = Graph.n g in
     let m = Graph.m g in
     let max_rounds =
@@ -1106,6 +1171,7 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
             down_now.(v) <- d;
             if d then begin
               (* Mail delivered to a crashed node is lost. *)
+              if rec_on then Recorder.ev_down rb v;
               if inboxes.(v).len > 0 then begin
                 dropped := !dropped + inboxes.(v).len;
                 inboxes.(v).len <- 0
@@ -1114,6 +1180,7 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
             end
             else if was_down.(v) then begin
               (* First round back up: restart from a fresh initial state. *)
+              if rec_on then Recorder.ev_restart rb v;
               was_down.(v) <- false;
               states.(v) <- proto.init views.(v);
               let d' = proto.is_done states.(v) in
@@ -1142,6 +1209,8 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
             incr wake_hits;
           incr stepped;
           delivered := !delivered + inboxes.(v).len;
+          (* Mail-consuming steps only — see [run_flat]'s [step_node]. *)
+          if rec_on && has_mail then Recorder.ev_step rb v;
           let inbox = buf_drain inboxes.(v) in
           let state', outbox =
             proto.step views.(v) ~round:!round states.(v) ~inbox
@@ -1171,12 +1240,23 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
               end
               else edge_bits.(slot) <- prev + bits;
               match faults with
-              | None -> buf_push outboxes.(dst) (v, msg)
+              | None ->
+                  if rec_on then
+                    Recorder.ev_send rb ~src:v ~dst ~bits ~fate:1;
+                  buf_push outboxes.(dst) (v, msg)
               | Some f -> (
                   match f.on_send ~round:!round ~src:v ~dst with
-                  | Deliver -> buf_push outboxes.(dst) (v, msg)
-                  | Drop -> incr dropped
+                  | Deliver ->
+                      if rec_on then
+                        Recorder.ev_send rb ~src:v ~dst ~bits ~fate:1;
+                      buf_push outboxes.(dst) (v, msg)
+                  | Drop ->
+                      if rec_on then
+                        Recorder.ev_send rb ~src:v ~dst ~bits ~fate:0;
+                      incr dropped
                   | Replicate k ->
+                      if rec_on then
+                        Recorder.ev_send rb ~src:v ~dst ~bits ~fate:k;
                       for _ = 1 to k do
                         buf_push outboxes.(dst) (v, msg)
                       done;
@@ -1198,6 +1278,11 @@ let run ?max_rounds ?halt ?observer:per_run ?reference ?faults ?telemetry
          deliveries and this round's arrays for reuse. *)
       cur := outboxes;
       nxt := inboxes;
+      (match rcd with
+      | Some r ->
+          Recorder.round r !round;
+          Recorder.flush r rb
+      | None -> ());
       (match telemetry with
       | Some t ->
           Telemetry.sim_round t ~stepped:!stepped ~delivered:!delivered

@@ -280,6 +280,7 @@ val run_flat :
   ?observer:observer ->
   ?faults:faults ->
   ?telemetry:Telemetry.t ->
+  ?recorder:Recorder.t ->
   ?jobs:int ->
   ?sanitize:bool ->
   Dsf_graph.Graph.t ->
@@ -301,7 +302,21 @@ val run_flat :
     states, observer order); it costs an O(n) structural-hash sweep per
     round.  Defaults to the [DSF_SANITIZE] environment variable
     ([1]/[true]/[on], read once at module init), which is how ci.sh's
-    sanitized end-to-end smoke arms it without touching call sites. *)
+    sanitized end-to-end smoke arms it without touching call sites.
+
+    [recorder] appends flight-recorder events (see {!Recorder}): a
+    [Round] marker per executed round, [Step v] for every mail-consuming
+    step, [Send] with the fault layer's verdict as its [fate], and
+    [Down]/[Restart] for crash windows.  Events are staged in per-domain
+    buffers and flushed at the barrier in domain = node order — crash
+    events of the round first, then step/send events — so the serialized
+    log is byte-identical for any [jobs] and identical to the classic
+    engines' log for the same protocol.  When absent, a recorder attached
+    to [?telemetry] ([Telemetry.create ~recorder]) is used; with neither,
+    the engine pays one predictable branch per action and allocates
+    nothing (the bench GC gate pins the off path).  Events of a round
+    that raises (protocol error, sanitizer violation) are never flushed —
+    the log ends at the last completed round, like observer replay. *)
 
 val use_flat_engine : bool ref
 (** Deprecated global shim, mirror of {!use_reference_engine}: while
@@ -318,6 +333,7 @@ val run :
   ?telemetry:Telemetry.t ->
   ?flat:bool ->
   ?jobs:int ->
+  ?recorder:Recorder.t ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats
@@ -354,13 +370,19 @@ val run :
     registry via [Telemetry.sim_round].  Purely observational: with
     [?telemetry] absent the engine pays a single extra branch per round
     and runs bit-identically to before (the differential suite checks
-    this). *)
+    this).
+
+    [recorder] appends flight-recorder events for this run (see
+    {!run_flat} for the event and determinism contract; all three engines
+    produce byte-identical logs on the same protocol).  Defaults to the
+    recorder attached to [?telemetry], if any. *)
 
 val run_reference :
   ?max_rounds:int ->
   ?halt:('s array -> bool) ->
   ?observer:observer ->
   ?telemetry:Telemetry.t ->
+  ?recorder:Recorder.t ->
   Dsf_graph.Graph.t ->
   ('s, 'm) protocol ->
   's array * stats

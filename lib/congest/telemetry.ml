@@ -71,6 +71,7 @@ type t = {
   mutable stack : span list;  (* innermost first; root always last *)
   mutable events : event list;  (* newest first *)
   metrics : Metrics.t;
+  recorder : Recorder.t option;  (* flight recorder riding along, if any *)
 }
 
 let make_span name =
@@ -91,7 +92,7 @@ let make_span name =
     children = [];
   }
 
-let create ?clock () =
+let create ?clock ?recorder () =
   let clock = match clock with Some c -> c | None -> now_ns in
   let root = make_span "total" in
   root.count <- 1;
@@ -104,7 +105,10 @@ let create ?clock () =
     stack = [ root ];
     events = [];
     metrics = Metrics.create ();
+    recorder;
   }
+
+let recorder t = t.recorder
 
 let root t = t.root
 let root_spans t = t.root.children
@@ -136,10 +140,17 @@ let span t name f =
   in
   s.count <- s.count + 1;
   t.stack <- s :: t.stack;
+  (* Cross-link into the flight recorder: span boundaries carry only the
+     name (interned in the log), never the wall time, so recorded streams
+     stay byte-deterministic. *)
+  (match t.recorder with Some r -> Recorder.span_open r name | None -> ());
   let t0 = t.clock () in
   let rounds0 = s.rounds and bits0 = s.bits in
   Fun.protect
     ~finally:(fun () ->
+      (match t.recorder with
+      | Some r -> Recorder.span_close r name
+      | None -> ());
       let dur = Int64.sub (t.clock ()) t0 in
       s.wall_ns <- Int64.add s.wall_ns dur;
       (match t.stack with _ :: rest -> t.stack <- rest | [] -> ());
@@ -206,6 +217,10 @@ let fork t =
     stack = [ root ];
     events = [];
     metrics = Metrics.create ();
+    (* A recorder is single-writer; pooled trials running concurrently
+       must not share it, so forks detach.  Record single-run flat solves
+       (which parallelize *inside* the engine) instead. *)
+    recorder = None;
   }
 
 let rec copy_span s =

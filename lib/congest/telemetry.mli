@@ -48,9 +48,17 @@ val now_ns : unit -> int64
     forbids [Unix.gettimeofday]/[Sys.time] everywhere else so that all
     timing flows through telemetry (and stays injectable). *)
 
-val create : ?clock:(unit -> int64) -> unit -> t
+val create : ?clock:(unit -> int64) -> ?recorder:Recorder.t -> unit -> t
 (** [?clock] defaults to {!now_ns}.  Tests inject a constant (domain-safe
-    across pool fan-outs) or a counter clock for golden output. *)
+    across pool fan-outs) or a counter clock for golden output.
+    [?recorder] attaches a flight recorder: {!span} emits
+    [Span_open]/[Span_close] cross-link events into it, the engines pick
+    it up through {!recorder} when no explicit [?recorder] run parameter
+    is given, and {!Fault.run_hardened} logs its recovery summary there.
+    {!fork} children detach (a recorder is single-writer state). *)
+
+val recorder : t -> Recorder.t option
+(** The attached flight recorder, if any. *)
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a child span of the current one (opening it if

@@ -46,7 +46,9 @@ let pp_summary ppf t =
     (fun ((s, d), b) -> Format.fprintf ppf " %d->%d:%d" s d b)
     (hottest_edges t 3)
 
-let pp_postmortem ppf (a : Sim.abort) =
+let postmortem_tail = 64
+
+let pp_postmortem ?recorder ppf (a : Sim.abort) =
   Format.fprintf ppf
     "round limit hit at round %d (%d messages, %d dropped, %d retransmitted \
      in total)@."
@@ -91,4 +93,18 @@ let pp_postmortem ppf (a : Sim.abort) =
             Format.fprintf ppf " %d->%d:%db" src dst bits)
           msgs;
       Format.fprintf ppf "@.")
-    a.Sim.recent
+    a.Sim.recent;
+  (* When the aborted run was flying a flight recorder, append its causal
+     tail: unlike the traffic ring this includes steps, crash windows, and
+     span boundaries — the events leading into the abort, oldest first. *)
+  match recorder with
+  | None -> ()
+  | Some r -> (
+      match Recorder.tail r postmortem_tail with
+      | [] -> ()
+      | evs ->
+          Format.fprintf ppf "flight recorder tail (last %d of %d events):@."
+            (List.length evs) (Recorder.event_count r);
+          List.iter
+            (fun ev -> Format.fprintf ppf "  %a@." Recorder.pp_event ev)
+            evs)

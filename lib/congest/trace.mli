@@ -43,8 +43,11 @@ val bits_between : t -> src:int -> dst:int -> int
 
 val pp_summary : Format.formatter -> t -> unit
 
-val pp_postmortem : Format.formatter -> Sim.abort -> unit
+val pp_postmortem : ?recorder:Recorder.t -> Format.formatter -> Sim.abort -> unit
 (** Full dump of a {!Sim.Round_limit} post-mortem: the abort header,
     per-sender message totals over the retained window (the eternal
     retransmitter tops the list), then the raw round-by-round traffic,
-    oldest round first.  Complements the compact {!Sim.pp_abort}. *)
+    oldest round first.  Complements the compact {!Sim.pp_abort}.
+    [?recorder] — the recorder the aborted run was writing, if any —
+    appends the recorder's last 64 events (steps, sends with fates, crash
+    windows, span boundaries) as a causal tail after the traffic dump. *)

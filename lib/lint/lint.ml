@@ -101,11 +101,13 @@ let rules =
 let sim_globals_allowlist =
   [ "lib/congest/sim.ml"; "test/test_sim_equiv.ml"; "test/test_lower_bound.ml" ]
 
-(* The one library file that may read the wall clock: telemetry's [now_ns]
+(* The library files that may read the wall clock: telemetry's [now_ns]
    is the sanctioned (and injectable) clock every other module profiles
-   through.  Keeping the read centralized is what makes traces
-   deterministic under an injected clock. *)
-let wall_clock_allowlist = [ "lib/congest/telemetry.ml" ]
+   through, and the flight recorder stamps its capture timestamp (a
+   metadata field, never an event — injectable via [?now]) at creation.
+   Keeping the reads centralized is what makes traces and flightlogs
+   deterministic under injected time. *)
+let wall_clock_allowlist = [ "lib/congest/telemetry.ml"; "lib/congest/recorder.ml" ]
 
 (* The one library file that may use bounds-unchecked accessors without an
    inline allow: [Dsf_util.Pack] is the repo's sanctioned bit-twiddling

@@ -321,7 +321,7 @@ let test_crash_plan_not_masked_postmortem () =
         (String.length via_printexc > String.length "Sim.Round_limit");
       (* The full Trace dump adds per-sender totals and the raw
          round-by-round traffic on top of the compact summary. *)
-      let dump = Format.asprintf "%a" Trace.pp_postmortem a in
+      let dump = Format.asprintf "%a" (Trace.pp_postmortem ?recorder:None) a in
       let contains hay needle =
         let nl = String.length needle and hl = String.length hay in
         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in

@@ -83,12 +83,18 @@ let test_nondet () =
   (* benches may read the wall clock and use the global RNG *)
   quiet ~file:"bench/micro.ml" "let now () = Unix.gettimeofday ()";
   quiet ~file:"bench/micro.ml" "let roll () = Random.int 6";
-  (* telemetry.ml is the one sanctioned lib/ clock; every other library
-     file must profile through it *)
+  (* telemetry.ml and recorder.ml are the sanctioned lib/ clocks (span
+     timing, flightlog header stamp); every other library file must
+     profile through them — locked both ways so widening the allowlist
+     is a deliberate act *)
   quiet ~file:"lib/congest/telemetry.ml"
     "let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)";
+  quiet ~file:"lib/congest/recorder.ml"
+    "let now_unix_s () = int_of_float (Unix.gettimeofday ())";
   fires ~file:"lib/congest/trace.ml" "nondet"
-    "let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)"
+    "let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)";
+  fires ~file:"lib/congest/sim.ml" "nondet"
+    "let now_unix_s () = int_of_float (Unix.gettimeofday ())"
 
 (* ----------------------------------------------- congest-discipline *)
 

@@ -8,4 +8,4 @@ let () =
    @ Test_sim_equiv.suites @ Test_chaos.suites @ Test_fuzz.suites
    @ Test_routing.suites @ Test_worked_examples.suites @ Test_misc.suites
    @ Test_parallel.suites @ Test_lint.suites @ Test_sanitizer.suites
-   @ Test_telemetry.suites)
+   @ Test_telemetry.suites @ Test_recorder.suites)
